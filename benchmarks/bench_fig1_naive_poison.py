@@ -1,0 +1,71 @@
+"""Figure 1 — Clean Model vs Naive Poison vs BGC (clean test accuracy).
+
+Reproduces the motivating comparison: naively injecting triggers into the
+condensed graph destroys the downstream GNN's clean accuracy, while BGC keeps
+it close to the clean model.
+"""
+
+from __future__ import annotations
+
+from repro.attack.naive import NaivePoison, NaivePoisonConfig
+from repro.condensation import make_condenser
+from repro.datasets import load_dataset
+from repro.evaluation.pipeline import evaluate_clean, train_model_on_condensed
+from repro.utils.seed import spawn_rngs
+
+from bench_common import (
+    DEFAULT_RATIOS,
+    BenchSettings,
+    print_header,
+    print_rows,
+    run_bgc_cell,
+)
+
+DATASETS = ["cora", "citeseer"]
+
+
+def run_figure1():
+    settings = BenchSettings()
+    rows = []
+    for dataset in DATASETS:
+        ratio = DEFAULT_RATIOS[dataset]
+        graph = load_dataset(dataset, seed=settings.seed)
+        clean_rng, naive_rng, eval_rng = spawn_rngs(settings.seed + 7, 3)
+        evaluation = settings.evaluation()
+
+        clean_condensed = make_condenser("gcond", settings.condensation(ratio)).condense(
+            graph, clean_rng
+        )
+        clean_model = train_model_on_condensed(clean_condensed, graph, evaluation, eval_rng)
+        clean_cta = evaluate_clean(clean_model, graph)
+
+        naive = NaivePoison(NaivePoisonConfig(target_class=0, poison_fraction=0.6))
+        naive_condensed, _ = naive.run(
+            graph, make_condenser("gcond", settings.condensation(ratio)), naive_rng
+        )
+        naive_model = train_model_on_condensed(naive_condensed, graph, evaluation, eval_rng)
+        naive_cta = evaluate_clean(naive_model, graph)
+
+        bgc_row = run_bgc_cell(dataset, "gcond", ratio, settings, include_clean=False)
+        rows.append(
+            {
+                "dataset": dataset,
+                "Clean Model CTA": clean_cta,
+                "Naive Poison CTA": naive_cta,
+                "BGC CTA": bgc_row["CTA"],
+            }
+        )
+    return rows
+
+
+def test_fig1_naive_poison_vs_bgc(benchmark):
+    rows = benchmark.pedantic(run_figure1, rounds=1, iterations=1)
+    print_header("Figure 1: Clean Model vs Naive Poison vs BGC (CTA)")
+    print_rows(rows)
+    # Shape check: naive poisoning must hurt utility more than BGC does.
+    for row in rows:
+        assert row["Naive Poison CTA"] <= row["Clean Model CTA"]
+        assert row["BGC CTA"] >= row["Naive Poison CTA"] - 0.05
+    mean_naive = sum(row["Naive Poison CTA"] for row in rows) / len(rows)
+    mean_bgc = sum(row["BGC CTA"] for row in rows) / len(rows)
+    assert mean_bgc >= mean_naive

@@ -1,0 +1,115 @@
+"""Figure 4 — attack comparison: BGC vs adapted GTA and DOORPING.
+
+The paper shows that the two adapted baselines sometimes attack successfully
+but are less reliable than BGC and hurt utility more.  The benchmark reports
+CTA and ASR for all three attacks under the GCond condenser.
+"""
+
+from __future__ import annotations
+
+from repro.attack import DoorpingAttack, GTAAttack
+from repro.attack.baselines.doorping import DoorpingConfig
+from repro.attack.baselines.gta import GTAConfig
+from repro.attack.trigger import TriggerConfig
+from repro.attack.selection import SelectionConfig
+from repro.condensation import make_condenser
+from repro.datasets import load_dataset
+from repro.evaluation.pipeline import evaluate_backdoor, evaluate_clean, train_model_on_condensed
+from repro.utils.seed import spawn_rngs
+
+from bench_common import (
+    DEFAULT_RATIOS,
+    POISON_SETTINGS,
+    BenchSettings,
+    print_header,
+    print_rows,
+    run_bgc_cell,
+)
+
+DATASETS = ["cora", "citeseer"]
+
+
+def _poison_kwargs(dataset: str) -> dict:
+    poison = POISON_SETTINGS[dataset]
+    return {
+        "poison_ratio": poison.get("poison_ratio"),
+        "poison_number": poison.get("poison_number"),
+    }
+
+
+def run_figure4():
+    settings = BenchSettings()
+    rows = []
+    for dataset in DATASETS:
+        ratio = DEFAULT_RATIOS[dataset]
+        graph = load_dataset(dataset, seed=settings.seed)
+        evaluation = settings.evaluation()
+        attack_rng, eval_rng = spawn_rngs(settings.seed + 3, 2)
+
+        # GTA: poison once before condensation.
+        gta = GTAAttack(
+            GTAConfig(
+                generator_epochs=settings.attack_epochs,
+                update_batch_size=settings.update_batch_size,
+                trigger=TriggerConfig(trigger_size=settings.trigger_size),
+                selection=SelectionConfig(num_clusters=3, selector_epochs=60),
+                **_poison_kwargs(dataset),
+            )
+        )
+        gta_result = gta.run(graph, make_condenser("gcond", settings.condensation(ratio)), attack_rng)
+        gta_model = train_model_on_condensed(gta_result.condensed, graph, evaluation, eval_rng)
+        rows.append(
+            {
+                "dataset": dataset,
+                "attack": "GTA",
+                "CTA": evaluate_clean(gta_model, graph),
+                "ASR": evaluate_backdoor(gta_model, graph, gta_result.generator, gta_result.target_class),
+            }
+        )
+
+        # DOORPING: universal trigger refreshed during condensation.
+        doorping = DoorpingAttack(
+            DoorpingConfig(
+                epochs=settings.attack_epochs,
+                trigger_steps=settings.generator_steps,
+                update_batch_size=settings.update_batch_size,
+                surrogate_steps=settings.surrogate_steps,
+                trigger=TriggerConfig(trigger_size=settings.trigger_size),
+                selection=SelectionConfig(num_clusters=3, selector_epochs=60),
+                **_poison_kwargs(dataset),
+            )
+        )
+        doorping_result = doorping.run(
+            graph, make_condenser("gcond", settings.condensation(ratio)), attack_rng
+        )
+        doorping_model = train_model_on_condensed(
+            doorping_result.condensed, graph, evaluation, eval_rng
+        )
+        rows.append(
+            {
+                "dataset": dataset,
+                "attack": "DOORPING",
+                "CTA": evaluate_clean(doorping_model, graph),
+                "ASR": evaluate_backdoor(
+                    doorping_model, graph, doorping_result.generator, doorping_result.target_class
+                ),
+            }
+        )
+
+        # BGC.
+        bgc_cell = run_bgc_cell(dataset, "gcond", ratio, settings, include_clean=False)
+        rows.append({"dataset": dataset, "attack": "BGC", "CTA": bgc_cell["CTA"], "ASR": bgc_cell["ASR"]})
+    return rows
+
+
+def test_fig4_attack_comparison(benchmark):
+    rows = benchmark.pedantic(run_figure4, rounds=1, iterations=1)
+    print_header("Figure 4: BGC vs adapted graph backdoor baselines (GCond)")
+    print_rows(rows, columns=["dataset", "attack", "CTA", "ASR"])
+    # Shape check: BGC's ASR is at least as good as both baselines per dataset.
+    by_dataset = {}
+    for row in rows:
+        by_dataset.setdefault(row["dataset"], {})[row["attack"]] = row
+    for dataset, attacks in by_dataset.items():
+        assert attacks["BGC"]["ASR"] >= attacks["GTA"]["ASR"] - 0.05
+        assert attacks["BGC"]["ASR"] >= attacks["DOORPING"]["ASR"] - 0.05

@@ -1,0 +1,38 @@
+"""Figure 5 — ablation on poisoned-node selection (BGC vs BGC_Rand).
+
+Replaces the representative-node selector with uniformly random selection and
+compares CTA/ASR, reproducing the ablation of Section VI-E (run here on the
+transductive stand-ins for speed; pass REPRO_BENCH_FULL=1 elsewhere for the
+inductive ones).
+"""
+
+from __future__ import annotations
+
+from bench_common import DEFAULT_RATIOS, BenchSettings, bench_datasets, print_header, print_rows, run_bgc_cell
+
+
+def run_figure5():
+    settings = BenchSettings()
+    rows = []
+    for dataset in bench_datasets():
+        ratio = DEFAULT_RATIOS[dataset]
+        for variant, overrides in (("BGC", {}), ("BGC_Rand", {"use_random_selection": True})):
+            cell = run_bgc_cell(
+                dataset, "dc-graph", ratio, settings, attack_overrides=overrides, include_clean=False
+            )
+            rows.append(
+                {"dataset": dataset, "variant": variant, "CTA": cell["CTA"], "ASR": cell["ASR"]}
+            )
+    return rows
+
+
+def test_fig5_selection_ablation(benchmark):
+    rows = benchmark.pedantic(run_figure5, rounds=1, iterations=1)
+    print_header("Figure 5: representative vs random poisoned-node selection (DC-Graph)")
+    print_rows(rows, columns=["dataset", "variant", "CTA", "ASR"])
+    # Shape check: representative selection is at least competitive with random.
+    by_dataset = {}
+    for row in rows:
+        by_dataset.setdefault(row["dataset"], {})[row["variant"]] = row
+    for dataset, variants in by_dataset.items():
+        assert variants["BGC"]["ASR"] >= variants["BGC_Rand"]["ASR"] - 0.1

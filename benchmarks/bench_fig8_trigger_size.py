@@ -1,0 +1,49 @@
+"""Figure 8 — effect of the trigger size on CTA and ASR.
+
+Larger triggers push ASR towards 100% while slightly eroding CTA; the
+benchmark sweeps trigger sizes 1-4 under two condensers, as in the paper
+(run on the transductive Cora stand-in for speed).
+"""
+
+from __future__ import annotations
+
+from repro.attack.trigger import TriggerConfig
+
+from bench_common import DEFAULT_RATIOS, BenchSettings, print_header, print_rows, run_bgc_cell
+
+DATASET = "cora"
+CONDENSERS = ["dc-graph", "gcond"]
+TRIGGER_SIZES = [1, 2, 3, 4]
+
+
+def run_figure8():
+    settings = BenchSettings()
+    ratio = DEFAULT_RATIOS[DATASET]
+    rows = []
+    for condenser in CONDENSERS:
+        for size in TRIGGER_SIZES:
+            trigger = TriggerConfig(trigger_size=size)
+            cell = run_bgc_cell(
+                DATASET,
+                condenser,
+                ratio,
+                settings,
+                attack_overrides={"trigger": trigger},
+                include_clean=False,
+            )
+            rows.append(
+                {"condenser": condenser, "trigger size": size, "CTA": cell["CTA"], "ASR": cell["ASR"]}
+            )
+    return rows
+
+
+def test_fig8_trigger_size(benchmark):
+    rows = benchmark.pedantic(run_figure8, rounds=1, iterations=1)
+    print_header(f"Figure 8: trigger-size sweep ({DATASET})")
+    print_rows(rows, columns=["condenser", "trigger size", "CTA", "ASR"])
+    # Shape check: the largest trigger attacks at least as well as the smallest.
+    by_condenser = {}
+    for row in rows:
+        by_condenser.setdefault(row["condenser"], []).append(row)
+    for condenser, series in by_condenser.items():
+        assert series[-1]["ASR"] >= series[0]["ASR"] - 0.05

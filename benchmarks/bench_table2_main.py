@@ -1,0 +1,68 @@
+"""Table II — main results: model utility (CTA) and attack performance (ASR).
+
+For every (dataset, condensation method) pair the benchmark reports the clean
+baseline (C-CTA, C-ASR) and the BGC-attacked numbers (CTA, ASR).  The fast
+mode covers Cora and Citeseer at their middle condensation ratio with every
+condenser; ``REPRO_BENCH_FULL=1`` adds Flickr and Reddit and sweeps all three
+paper ratios.
+"""
+
+from __future__ import annotations
+
+from bench_common import (
+    DEFAULT_RATIOS,
+    FULL_MODE,
+    BenchSettings,
+    bench_datasets,
+    print_header,
+    print_rows,
+    run_bgc_cell,
+)
+
+CONDENSERS = ["dc-graph", "gcond", "gcond-x", "gc-sntk"]
+
+RATIO_GRID = {
+    "cora": [0.013, 0.026, 0.052],
+    "citeseer": [0.009, 0.018, 0.036],
+    "flickr": [0.001, 0.005, 0.01],
+    "reddit": [0.0005, 0.001, 0.002],
+}
+
+
+def run_table2():
+    settings = BenchSettings()
+    rows = []
+    for dataset in bench_datasets():
+        ratios = RATIO_GRID[dataset] if FULL_MODE else [DEFAULT_RATIOS[dataset]]
+        for condenser in CONDENSERS:
+            for ratio in ratios:
+                cell = run_bgc_cell(dataset, condenser, ratio, settings)
+                rows.append(
+                    {
+                        "dataset": dataset,
+                        "condenser": condenser,
+                        "ratio": ratio,
+                        "C-CTA": cell["C-CTA"],
+                        "CTA": cell["CTA"],
+                        "C-ASR": cell["C-ASR"],
+                        "ASR": cell["ASR"],
+                    }
+                )
+    return rows
+
+
+def test_table2_main_results(benchmark):
+    rows = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    print_header("Table II: model utility (CTA) and attack performance (ASR)")
+    print_rows(rows, columns=["dataset", "condenser", "ratio", "C-CTA", "CTA", "C-ASR", "ASR"])
+    # Shape checks mirroring the paper's headline claims:
+    for row in rows:
+        # The attack succeeds everywhere (paper: >95%; GC-SNTK is the hardest
+        # condenser to backdoor both in the paper and here, so the floor is
+        # set below the gradient-matching condensers' near-100% ASR).
+        floor = 0.7 if row["condenser"] == "gc-sntk" else 0.9
+        assert row["ASR"] > floor, f"ASR too low for {row}"
+        # ...while a clean model stays near chance level on triggered inputs...
+        assert row["C-ASR"] < 0.5, f"C-ASR too high for {row}"
+        # ...and utility stays in the neighbourhood of the clean baseline.
+        assert row["CTA"] > row["C-CTA"] - 0.25, f"CTA collapsed for {row}"

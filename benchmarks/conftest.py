@@ -1,0 +1,7 @@
+"""Pytest configuration for the benchmark harness.
+
+Benchmarks print the regenerated tables/figures to stdout, so ``-s`` is the
+recommended invocation::
+
+    pytest benchmarks/ --benchmark-only -s
+"""

@@ -1,0 +1,76 @@
+"""Comparing the four condensation methods, clean and under attack.
+
+Reproduces the spirit of Table II interactively: for every condenser
+(DC-Graph, GCond, GCond-X, GC-SNTK) on one dataset it reports
+
+* the clean condensation quality (C-CTA),
+* the backdoored condensation quality (CTA), and
+* the attack success rate (ASR),
+
+and prints how large the condensed graph is compared to the original.
+
+Run with::
+
+    python examples/condensation_methods_comparison.py [dataset]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import BGC, BGCConfig, CondensationConfig, EvaluationConfig, load_dataset, make_condenser
+from repro.evaluation.pipeline import (
+    evaluate_backdoor,
+    evaluate_clean,
+    train_model_on_condensed,
+)
+from repro.evaluation.reporting import format_percent, format_table
+from repro.utils import new_rng
+
+CONDENSERS = ["dc-graph", "gcond", "gcond-x", "gc-sntk"]
+RATIOS = {"cora": 0.026, "citeseer": 0.018, "flickr": 0.005, "reddit": 0.002}
+
+
+def main() -> None:
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "cora"
+    if dataset not in RATIOS:
+        raise SystemExit(f"unknown dataset {dataset!r}; choose from {sorted(RATIOS)}")
+
+    graph = load_dataset(dataset, seed=0)
+    ratio = RATIOS[dataset]
+    condensation = CondensationConfig(epochs=20, ratio=ratio)
+    evaluation = EvaluationConfig(epochs=120)
+    poison = {"poison_ratio": 0.1} if dataset in ("cora", "citeseer") else {"poison_number": 40}
+
+    rows = []
+    for name in CONDENSERS:
+        clean = make_condenser(name, condensation).condense(graph, new_rng(1))
+        clean_model = train_model_on_condensed(clean, graph, evaluation, new_rng(2))
+
+        attack = BGC(BGCConfig(target_class=0, epochs=20, **poison))
+        result = attack.run(graph, make_condenser(name, condensation), new_rng(3))
+        victim_model = train_model_on_condensed(result.condensed, graph, evaluation, new_rng(4))
+
+        rows.append(
+            {
+                "condenser": name,
+                "condensed nodes": clean.num_nodes,
+                "C-CTA %": format_percent(evaluate_clean(clean_model, graph)),
+                "CTA %": format_percent(evaluate_clean(victim_model, graph)),
+                "ASR %": format_percent(
+                    evaluate_backdoor(victim_model, graph, result.generator, result.target_class)
+                ),
+            }
+        )
+
+    reference = graph.training_view().num_nodes if graph.inductive else graph.num_nodes
+    print(f"\nDataset {dataset}: {reference} (training) nodes condensed at ratio {ratio}")
+    print(format_table(rows))
+    print(
+        "\nEvery condensation pipeline is attackable: the condensed graphs keep "
+        "their utility while the trigger association survives condensation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The execution environment ships setuptools 65 without the ``wheel`` package,
+so PEP 660 editable installs fail.  This shim lets ``pip install -e .
+--no-use-pep517`` fall back to the classic ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

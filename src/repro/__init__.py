@@ -1,0 +1,63 @@
+"""Reproduction of "Backdoor Graph Condensation" (BGC, ICDE 2025).
+
+The public API re-exports the main building blocks:
+
+* datasets   — synthetic stand-ins for Cora / Citeseer / Flickr / Reddit,
+* models     — GCN / SGC / GraphSAGE / MLP / APPNP / ChebyNet on a numpy
+               autograd engine,
+* condensation — DC-Graph, GCond, GCond-X and GC-SNTK condensers,
+* attack     — the BGC attack, its ablations and baseline attacks,
+* defenses   — Prune and Randsmooth,
+* evaluation — CTA / ASR metrics and the train-on-condensed pipeline.
+
+Quickstart
+----------
+>>> from repro import load_dataset, make_condenser, BGC, BGCConfig
+>>> from repro.utils import new_rng
+>>> graph = load_dataset("cora", seed=0)
+>>> condenser = make_condenser("gcond")
+>>> result = BGC(BGCConfig(epochs=10)).run(graph, condenser, new_rng(0))
+"""
+
+from repro.datasets import load_dataset, list_datasets
+from repro.condensation import (
+    CondensationConfig,
+    CondensedGraph,
+    make_condenser,
+    available_condensers,
+)
+from repro.models import make_model, available_architectures, Trainer, TrainingConfig
+from repro.attack import BGC, BGCConfig, BGCResult, TriggerConfig, SelectionConfig
+from repro.evaluation import (
+    EvaluationConfig,
+    ExperimentRunner,
+    attack_success_rate,
+    clean_test_accuracy,
+)
+from repro.exceptions import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "load_dataset",
+    "list_datasets",
+    "CondensationConfig",
+    "CondensedGraph",
+    "make_condenser",
+    "available_condensers",
+    "make_model",
+    "available_architectures",
+    "Trainer",
+    "TrainingConfig",
+    "BGC",
+    "BGCConfig",
+    "BGCResult",
+    "TriggerConfig",
+    "SelectionConfig",
+    "EvaluationConfig",
+    "ExperimentRunner",
+    "attack_success_rate",
+    "clean_test_accuracy",
+    "ReproError",
+    "__version__",
+]

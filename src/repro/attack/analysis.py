@@ -1,0 +1,111 @@
+"""Stealthiness and attack-behaviour analysis tools.
+
+These helpers quantify the claims the paper makes qualitatively:
+
+* a BGC-poisoned condensed graph is statistically close to a clean one
+  (:func:`condensed_graph_divergence`),
+* the triggers a generator produces stay within the host graph's feature
+  range and are structurally small (:func:`trigger_statistics`),
+* the per-class composition of the condensed graph is unchanged
+  (:func:`class_distribution_shift`).
+
+They are used by the audit example and the extension benchmarks, and are
+generally useful when developing new defenses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.attack.trigger import generate_hard_triggers
+from repro.condensation.base import CondensedGraph
+from repro.exceptions import AttackError
+from repro.graph.data import GraphData
+
+
+def condensed_graph_divergence(
+    clean: CondensedGraph, poisoned: CondensedGraph
+) -> Dict[str, float]:
+    """Statistical distances between a clean and a poisoned condensed graph.
+
+    Returns feature-moment gaps, edge-count gap and per-class mean-feature
+    cosine similarity — the quantities a customer could realistically compare
+    if they somehow had access to both versions.
+    """
+    if clean.features.shape[1] != poisoned.features.shape[1]:
+        raise AttackError("condensed graphs have different feature dimensionality")
+    clean_edges = float((clean.adjacency > 0).sum())
+    poisoned_edges = float((poisoned.adjacency > 0).sum())
+
+    per_class_cosine = []
+    for cls in np.unique(clean.labels):
+        clean_members = clean.features[clean.labels == cls]
+        poisoned_members = poisoned.features[poisoned.labels == cls]
+        if clean_members.size == 0 or poisoned_members.size == 0:
+            continue
+        a = clean_members.mean(axis=0)
+        b = poisoned_members.mean(axis=0)
+        denominator = np.linalg.norm(a) * np.linalg.norm(b) + 1e-12
+        per_class_cosine.append(float(a @ b / denominator))
+
+    return {
+        "feature_mean_gap": float(abs(clean.features.mean() - poisoned.features.mean())),
+        "feature_std_gap": float(abs(clean.features.std() - poisoned.features.std())),
+        "edge_count_gap": abs(clean_edges - poisoned_edges),
+        "mean_class_prototype_cosine": float(np.mean(per_class_cosine)) if per_class_cosine else 1.0,
+        "node_count_gap": float(abs(clean.num_nodes - poisoned.num_nodes)),
+    }
+
+
+def trigger_statistics(
+    generator, graph: GraphData, nodes: np.ndarray
+) -> Dict[str, float]:
+    """Summary statistics of the triggers generated for ``nodes``.
+
+    Reports how large the trigger features are relative to the host graph and
+    how dense the internal trigger structure is — the quantities that govern
+    how visible the triggers would be to an inspection of the poisoned graph.
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    if nodes.size == 0:
+        raise AttackError("trigger_statistics requires at least one node")
+    features, adjacency = generate_hard_triggers(generator, graph.adjacency, graph.features, nodes)
+    host_max = float(np.abs(graph.features).max()) or 1.0
+    trigger_size = features.shape[1]
+    possible_internal_edges = max(1, trigger_size * (trigger_size - 1))
+    internal_density = float(adjacency.sum() / (adjacency.shape[0] * possible_internal_edges))
+    pairwise_variation = 0.0
+    if features.shape[0] > 1:
+        flat = features.reshape(features.shape[0], -1)
+        pairwise_variation = float(np.linalg.norm(flat - flat.mean(axis=0), axis=1).mean())
+    return {
+        "trigger_size": float(trigger_size),
+        "feature_abs_mean": float(np.abs(features).mean()),
+        "feature_abs_max": float(np.abs(features).max()),
+        "relative_feature_max": float(np.abs(features).max() / host_max),
+        "internal_edge_density": internal_density,
+        "per_node_variation": pairwise_variation,
+        "added_nodes_per_target": float(trigger_size),
+        "added_edges_per_target": float(1 + adjacency[0].sum() / 2),
+    }
+
+
+def class_distribution_shift(clean: CondensedGraph, poisoned: CondensedGraph) -> Dict[str, float]:
+    """Total-variation distance between the two condensed label distributions."""
+    num_classes = max(clean.num_classes, poisoned.num_classes)
+    clean_hist = np.bincount(clean.labels, minlength=num_classes).astype(float)
+    poisoned_hist = np.bincount(poisoned.labels, minlength=num_classes).astype(float)
+    clean_hist /= max(clean_hist.sum(), 1.0)
+    poisoned_hist /= max(poisoned_hist.sum(), 1.0)
+    return {
+        "total_variation": float(0.5 * np.abs(clean_hist - poisoned_hist).sum()),
+        "clean_entropy": _entropy(clean_hist),
+        "poisoned_entropy": _entropy(poisoned_hist),
+    }
+
+
+def _entropy(distribution: np.ndarray) -> float:
+    nonzero = distribution[distribution > 0]
+    return float(-(nonzero * np.log(nonzero)).sum())

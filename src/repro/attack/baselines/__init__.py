@@ -1,0 +1,6 @@
+"""Baseline backdoor attacks adapted to graph condensation (Figure 4)."""
+
+from repro.attack.baselines.gta import GTAAttack, GTAConfig
+from repro.attack.baselines.doorping import DoorpingAttack, DoorpingConfig
+
+__all__ = ["GTAAttack", "GTAConfig", "DoorpingAttack", "DoorpingConfig"]

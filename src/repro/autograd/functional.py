@@ -1,0 +1,163 @@
+"""Differentiable functional building blocks used by the GNN models.
+
+Everything here composes :class:`~repro.autograd.tensor.Tensor` primitives, so
+gradients flow without any additional backward rules except for the fused
+``log_softmax`` (implemented with its own numerically-stable vjp).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, is_grad_enabled, sparse_matmul
+from repro.exceptions import AutogradError
+
+__all__ = [
+    "relu",
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "nll_loss",
+    "mse_loss",
+    "dropout",
+    "spmm",
+    "one_hot",
+    "l2_norm_squared",
+    "straight_through_binarize",
+]
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return x.relu()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid."""
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    return x.tanh()
+
+
+def spmm(matrix, x: Tensor) -> Tensor:
+    """Sparse-dense matrix product (alias of :func:`sparse_matmul`)."""
+    return sparse_matmul(matrix, x)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable log-softmax along ``axis``."""
+    data = x.data
+    shifted = data - data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    denom = exp.sum(axis=axis, keepdims=True)
+    log_probs = shifted - np.log(denom)
+    probs = exp / denom
+
+    def vjp(g: np.ndarray) -> np.ndarray:
+        return g - probs * g.sum(axis=axis, keepdims=True)
+
+    if not is_grad_enabled() or not x.requires_grad:
+        return Tensor(log_probs, requires_grad=False)
+    return Tensor(log_probs, requires_grad=True, parents=[(x, vjp)])
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis`` (via :func:`log_softmax` for stability)."""
+    return log_softmax(x, axis=axis).exp()
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Return a dense one-hot encoding of integer ``labels``."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise AutogradError(f"one_hot expects a 1-D label array, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise AutogradError(
+            f"labels must lie in [0, {num_classes}), got range "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    encoding = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    encoding[np.arange(labels.shape[0]), labels] = 1.0
+    return encoding
+
+
+def nll_loss(log_probs: Tensor, labels: np.ndarray, weights: Optional[np.ndarray] = None) -> Tensor:
+    """Negative log-likelihood given log-probabilities and integer labels.
+
+    Parameters
+    ----------
+    log_probs:
+        Tensor of shape ``(n, C)`` containing log-probabilities.
+    labels:
+        Integer class indices of shape ``(n,)``.
+    weights:
+        Optional per-example weights of shape ``(n,)``; defaults to uniform.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    n, num_classes = log_probs.shape
+    if labels.shape[0] != n:
+        raise AutogradError(
+            f"labels length {labels.shape[0]} does not match batch size {n}"
+        )
+    targets = one_hot(labels, num_classes)
+    if weights is None:
+        weights = np.full(n, 1.0 / max(n, 1))
+    else:
+        weights = np.asarray(weights, dtype=np.float64)
+        total = weights.sum()
+        if total <= 0:
+            raise AutogradError("weights must sum to a positive value")
+        weights = weights / total
+    weighted_targets = targets * weights[:, None]
+    picked = log_probs * Tensor(weighted_targets)
+    return -picked.sum()
+
+
+def cross_entropy(
+    logits: Tensor, labels: np.ndarray, weights: Optional[np.ndarray] = None
+) -> Tensor:
+    """Softmax cross-entropy between ``logits`` and integer ``labels``."""
+    return nll_loss(log_softmax(logits, axis=-1), labels, weights=weights)
+
+
+def mse_loss(prediction: Tensor, target: np.ndarray) -> Tensor:
+    """Mean squared error against a constant target array."""
+    target_tensor = Tensor(np.asarray(target, dtype=np.float64))
+    diff = prediction - target_tensor
+    return (diff * diff).mean()
+
+
+def l2_norm_squared(x: Tensor) -> Tensor:
+    """Squared Frobenius norm of a tensor."""
+    return (x * x).sum()
+
+
+def straight_through_binarize(x: Tensor, threshold: float = 0.5) -> Tensor:
+    """Binarise in the forward pass, identity gradient in the backward pass.
+
+    Used for generated trigger adjacencies: the graph structure is discrete,
+    so the forward value is ``x > threshold`` while gradients flow as if the
+    operation were the identity (straight-through estimator).
+    """
+    binary = (x.data > threshold).astype(np.float64)
+    if not is_grad_enabled() or not x.requires_grad:
+        return Tensor(binary, requires_grad=False)
+    return Tensor(binary, requires_grad=True, parents=[(x, lambda g: g)])
+
+
+def dropout(x: Tensor, rate: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout with keep-probability ``1 - rate``."""
+    if not 0.0 <= rate < 1.0:
+        raise AutogradError(f"dropout rate must lie in [0, 1), got {rate}")
+    if not training or rate == 0.0:
+        return x
+    keep = 1.0 - rate
+    mask = (rng.random(x.shape) < keep).astype(np.float64) / keep
+    return x * Tensor(mask)

@@ -1,0 +1,182 @@
+"""Command-line interface for the BGC reproduction.
+
+Three subcommands cover the common workflows::
+
+    python -m repro.cli datasets                      # list datasets + statistics
+    python -m repro.cli condense --dataset cora --method gcond --ratio 0.026
+    python -m repro.cli attack   --dataset cora --method gcond --ratio 0.026 \
+        --poison-ratio 0.1 --epochs 20
+
+``attack`` runs the full threat model (clean baseline + BGC) and prints a
+Table-II-style row; ``condense`` runs a clean condensation and reports the
+downstream accuracy only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import (
+    BGC,
+    BGCConfig,
+    CondensationConfig,
+    EvaluationConfig,
+    load_dataset,
+    list_datasets,
+    make_condenser,
+    available_condensers,
+)
+from repro.attack.trigger import TriggerConfig
+from repro.datasets import statistics_table
+from repro.evaluation.pipeline import (
+    evaluate_backdoor,
+    evaluate_clean,
+    train_model_on_condensed,
+)
+from repro.evaluation.reporting import format_percent, format_table
+from repro.utils import new_rng
+from repro.utils.logging import enable_console_logging
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Backdoor Graph Condensation (BGC) reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("datasets", help="list the available datasets and their statistics")
+
+    condense = subparsers.add_parser("condense", help="run a clean graph condensation")
+    _add_common_arguments(condense)
+
+    attack = subparsers.add_parser("attack", help="run the BGC attack and report CTA/ASR")
+    _add_common_arguments(attack)
+    attack.add_argument("--poison-ratio", type=float, default=0.1,
+                        help="poisoned fraction of the training set (default 0.1)")
+    attack.add_argument("--poison-number", type=int, default=None,
+                        help="absolute poison budget (overrides --poison-ratio)")
+    attack.add_argument("--target-class", type=int, default=0, help="attack target class")
+    attack.add_argument("--trigger-size", type=int, default=4, help="trigger subgraph size")
+    attack.add_argument("--random-selection", action="store_true",
+                        help="use random instead of representative node selection")
+    return parser
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default="cora", choices=sorted(list_datasets()))
+    parser.add_argument("--method", default="gcond", choices=available_condensers())
+    parser.add_argument("--ratio", type=float, default=0.026, help="condensation ratio")
+    parser.add_argument("--epochs", type=int, default=20, help="condensation / attack epochs")
+    parser.add_argument("--eval-epochs", type=int, default=150, help="downstream training epochs")
+    parser.add_argument("--architecture", default="gcn", help="downstream GNN architecture")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--verbose", action="store_true", help="enable console logging")
+
+
+def run_datasets_command() -> int:
+    rows = []
+    for row in statistics_table(seed=0):
+        rows.append(
+            {
+                "dataset": row["name"],
+                "nodes": int(row["nodes"]),
+                "edges": int(row["edges"]),
+                "classes": int(row["classes"]),
+                "features": int(row["features"]),
+                "train/val/test": f"{int(row['train'])}/{int(row['val'])}/{int(row['test'])}",
+                "homophily": round(float(row["homophily"]), 3),
+            }
+        )
+    print(format_table(rows))
+    return 0
+
+
+def run_condense_command(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset, seed=args.seed)
+    condenser = make_condenser(args.method, CondensationConfig(epochs=args.epochs, ratio=args.ratio))
+    condensed = condenser.condense(graph, new_rng(args.seed))
+    evaluation = EvaluationConfig(architecture=args.architecture, epochs=args.eval_epochs)
+    model = train_model_on_condensed(condensed, graph, evaluation, new_rng(args.seed + 1))
+    cta = evaluate_clean(model, graph)
+    print(
+        format_table(
+            [
+                {
+                    "dataset": args.dataset,
+                    "method": args.method,
+                    "ratio": args.ratio,
+                    "condensed nodes": condensed.num_nodes,
+                    "C-CTA %": format_percent(cta),
+                }
+            ]
+        )
+    )
+    return 0
+
+
+def run_attack_command(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset, seed=args.seed)
+    condensation = CondensationConfig(epochs=args.epochs, ratio=args.ratio)
+    evaluation = EvaluationConfig(architecture=args.architecture, epochs=args.eval_epochs)
+
+    attack = BGC(
+        BGCConfig(
+            target_class=args.target_class,
+            poison_ratio=None if args.poison_number is not None else args.poison_ratio,
+            poison_number=args.poison_number,
+            epochs=args.epochs,
+            use_random_selection=args.random_selection,
+            trigger=TriggerConfig(trigger_size=args.trigger_size),
+        )
+    )
+    result = attack.run(graph, make_condenser(args.method, condensation), new_rng(args.seed))
+    victim = train_model_on_condensed(result.condensed, graph, evaluation, new_rng(args.seed + 1))
+
+    clean_condensed = make_condenser(args.method, condensation).condense(graph, new_rng(args.seed + 2))
+    clean_model = train_model_on_condensed(clean_condensed, graph, evaluation, new_rng(args.seed + 3))
+
+    print(
+        format_table(
+            [
+                {
+                    "dataset": args.dataset,
+                    "method": args.method,
+                    "ratio": args.ratio,
+                    "C-CTA %": format_percent(evaluate_clean(clean_model, graph)),
+                    "CTA %": format_percent(evaluate_clean(victim, graph)),
+                    "C-ASR %": format_percent(
+                        evaluate_backdoor(clean_model, graph, result.generator, result.target_class)
+                    ),
+                    "ASR %": format_percent(
+                        evaluate_backdoor(victim, graph, result.generator, result.target_class)
+                    ),
+                    "poisoned nodes": int(result.poisoned_nodes.size),
+                }
+            ]
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "verbose", False):
+        enable_console_logging()
+    if args.command == "datasets":
+        return run_datasets_command()
+    if args.command == "condense":
+        return run_condense_command(args)
+    if args.command == "attack":
+        return run_attack_command(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

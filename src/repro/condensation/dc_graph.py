@@ -1,0 +1,26 @@
+"""DC-Graph: the graph-agnostic dataset-condensation baseline.
+
+DC-Graph applies the original DC gradient-matching recipe (Zhao et al., 2021)
+to node features without using the graph structure on either side: real
+features are matched unpropagated and the condensed graph carries no learned
+adjacency.  Downstream GNN training on the condensed graph therefore uses the
+identity adjacency (features-only), while evaluation still uses the full test
+graph structure — exactly the protocol of the GCond paper.
+"""
+
+from __future__ import annotations
+
+from repro.condensation.base import register_condenser
+from repro.condensation.gradient_matching import GradientMatchingCondenser
+
+
+class DCGraph(GradientMatchingCondenser):
+    """Gradient matching on raw features; structure-free condensed graph."""
+
+    name = "dc-graph"
+    use_structure = False
+    propagate_real = False
+
+
+register_condenser("dc-graph", DCGraph)
+register_condenser("dcgraph", DCGraph)

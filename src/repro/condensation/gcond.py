@@ -1,0 +1,33 @@
+"""GCond and GCond-X (Jin et al., ICLR 2022).
+
+GCond matches the surrogate's training gradients on the original graph with
+those on a learned synthetic graph whose adjacency is generated from the
+synthetic features; GCond-X is the ablation that drops the learned structure
+and trains downstream models on the condensed features alone.
+"""
+
+from __future__ import annotations
+
+from repro.condensation.base import register_condenser
+from repro.condensation.gradient_matching import GradientMatchingCondenser
+
+
+class GCond(GradientMatchingCondenser):
+    """Gradient matching with propagated real features and a learned structure."""
+
+    name = "gcond"
+    use_structure = True
+    propagate_real = True
+
+
+class GCondX(GradientMatchingCondenser):
+    """GCond without the learned condensed structure (features only)."""
+
+    name = "gcond-x"
+    use_structure = False
+    propagate_real = True
+
+
+register_condenser("gcond", GCond)
+register_condenser("gcond-x", GCondX)
+register_condenser("gcondx", GCondX)

@@ -1,0 +1,24 @@
+"""Synthetic stand-ins for the paper's benchmark datasets.
+
+The original evaluation uses Cora, Citeseer (transductive) and Flickr, Reddit
+(inductive) downloaded via PyTorch Geometric.  Without network access this
+package generates deterministic, statistically similar synthetic graphs (see
+``DESIGN.md`` for the substitution rationale).  Each loader mirrors the real
+dataset's class count, feature dimensionality, split protocol and homophily;
+the two large graphs are scaled down to stay CPU-tractable.
+"""
+
+from repro.datasets.base import DatasetSpec, load_dataset, list_datasets, register_dataset
+from repro.datasets.statistics import dataset_statistics, statistics_table
+from repro.datasets import planetoid, social
+
+__all__ = [
+    "DatasetSpec",
+    "load_dataset",
+    "list_datasets",
+    "register_dataset",
+    "dataset_statistics",
+    "statistics_table",
+    "planetoid",
+    "social",
+]

@@ -1,0 +1,81 @@
+"""Dataset registry and specification objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.exceptions import DatasetError
+from repro.graph.data import GraphData
+
+LoaderFn = Callable[["DatasetSpec", int], GraphData]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Static description of a synthetic benchmark dataset.
+
+    Attributes mirror the real dataset they emulate; ``num_nodes`` may be a
+    scaled-down value for the large inductive graphs (see ``DESIGN.md``).
+    """
+
+    name: str
+    num_nodes: int
+    num_classes: int
+    num_features: int
+    inductive: bool
+    avg_degree: float
+    homophily: float
+    train_per_class: int = 20
+    num_val: int = 500
+    num_test: int = 1000
+    train_fraction: float = 0.5
+    val_fraction: float = 0.25
+    reference_nodes: int = 0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+
+_REGISTRY: Dict[str, tuple[DatasetSpec, LoaderFn]] = {}
+
+
+def register_dataset(spec: DatasetSpec, loader: LoaderFn) -> None:
+    """Register a dataset loader under ``spec.name`` (case-insensitive)."""
+    key = spec.name.lower()
+    if key in _REGISTRY:
+        raise DatasetError(f"dataset {spec.name!r} is already registered")
+    _REGISTRY[key] = (spec, loader)
+
+
+def list_datasets() -> List[str]:
+    """Return the names of all registered datasets."""
+    return sorted(spec.name for spec, _ in _REGISTRY.values())
+
+
+def get_spec(name: str) -> DatasetSpec:
+    """Return the :class:`DatasetSpec` registered under ``name``."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {', '.join(list_datasets())}"
+        )
+    return _REGISTRY[key][0]
+
+
+def load_dataset(name: str, seed: int = 0) -> GraphData:
+    """Generate the synthetic dataset registered under ``name``.
+
+    Parameters
+    ----------
+    name:
+        Dataset name, e.g. ``"cora"`` (case-insensitive).
+    seed:
+        Seed controlling graph topology, features and splits.  The same seed
+        always yields exactly the same graph.
+    """
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {', '.join(list_datasets())}"
+        )
+    spec, loader = _REGISTRY[key]
+    return loader(spec, seed)

@@ -1,0 +1,22 @@
+"""Defense methods evaluated against BGC (Table IV) plus detection extensions."""
+
+from repro.defenses.prune import PruneDefense, PruneConfig
+from repro.defenses.randsmooth import RandSmoothDefense, RandSmoothConfig, SmoothedModel
+from repro.defenses.detection import (
+    DetectionReport,
+    FeatureOutlierDetector,
+    SpectralSignatureDetector,
+    remove_flagged_nodes,
+)
+
+__all__ = [
+    "PruneDefense",
+    "PruneConfig",
+    "RandSmoothDefense",
+    "RandSmoothConfig",
+    "SmoothedModel",
+    "DetectionReport",
+    "FeatureOutlierDetector",
+    "SpectralSignatureDetector",
+    "remove_flagged_nodes",
+]

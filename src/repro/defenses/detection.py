@@ -1,0 +1,153 @@
+"""Detection-based defenses for condensed graphs (extension experiments).
+
+The paper's discussion argues that detection- and prune-based defenses are
+ineffective against BGC because the malicious information is distributed
+across the *synthetic* nodes rather than carried by an explicit trigger.
+This module implements two concrete detectors so that claim can be tested
+quantitatively (see ``benchmarks/bench_ext_detection.py``):
+
+* :class:`FeatureOutlierDetector` — flags condensed nodes whose features are
+  far from their class centroid (z-score of the Euclidean distance).
+* :class:`SpectralSignatureDetector` — the classic spectral-signature
+  backdoor detector: flags nodes with the largest projection onto the top
+  singular vector of the centred per-class feature matrix.
+
+Both return per-node suspicion scores plus a boolean mask at a chosen
+contamination rate, and a helper to rebuild a condensed graph with the
+flagged nodes removed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.condensation.base import CondensedGraph
+from repro.exceptions import DefenseError
+from repro.utils.logging import get_logger
+
+logger = get_logger("defenses.detection")
+
+
+@dataclass
+class DetectionReport:
+    """Outcome of running a detector on a condensed graph."""
+
+    scores: np.ndarray
+    flagged: np.ndarray
+    contamination: float
+
+    @property
+    def num_flagged(self) -> int:
+        return int(self.flagged.sum())
+
+    def flagged_indices(self) -> np.ndarray:
+        """Indices of the condensed nodes the detector would remove."""
+        return np.flatnonzero(self.flagged)
+
+
+def _flag_top_scores(scores: np.ndarray, contamination: float) -> np.ndarray:
+    """Boolean mask marking the ``contamination`` fraction of highest scores."""
+    if not 0.0 < contamination < 1.0:
+        raise DefenseError(f"contamination must lie in (0, 1), got {contamination}")
+    num_flagged = max(1, int(round(contamination * scores.shape[0])))
+    threshold_index = np.argsort(-scores)[:num_flagged]
+    mask = np.zeros(scores.shape[0], dtype=bool)
+    mask[threshold_index] = True
+    return mask
+
+
+class FeatureOutlierDetector:
+    """Z-score distance-to-class-centroid outlier detection."""
+
+    def __init__(self, contamination: float = 0.1) -> None:
+        if not 0.0 < contamination < 1.0:
+            raise DefenseError(f"contamination must lie in (0, 1), got {contamination}")
+        self.contamination = contamination
+
+    def score(self, condensed: CondensedGraph) -> np.ndarray:
+        """Per-node suspicion scores (larger = more anomalous)."""
+        scores = np.zeros(condensed.num_nodes)
+        for cls in np.unique(condensed.labels):
+            members = np.flatnonzero(condensed.labels == cls)
+            features = condensed.features[members]
+            centroid = features.mean(axis=0)
+            distances = np.linalg.norm(features - centroid, axis=1)
+            spread = distances.std()
+            if spread <= 1e-12:
+                continue
+            scores[members] = (distances - distances.mean()) / spread
+        return scores
+
+    def detect(self, condensed: CondensedGraph) -> DetectionReport:
+        """Score every condensed node and flag the most anomalous ones."""
+        scores = self.score(condensed)
+        flagged = _flag_top_scores(scores, self.contamination)
+        logger.debug("feature-outlier detector flagged %d nodes", int(flagged.sum()))
+        return DetectionReport(scores=scores, flagged=flagged, contamination=self.contamination)
+
+
+class SpectralSignatureDetector:
+    """Spectral-signature detection (Tran et al., 2018) adapted to condensed graphs."""
+
+    def __init__(self, contamination: float = 0.1) -> None:
+        if not 0.0 < contamination < 1.0:
+            raise DefenseError(f"contamination must lie in (0, 1), got {contamination}")
+        self.contamination = contamination
+
+    def score(self, condensed: CondensedGraph) -> np.ndarray:
+        """Squared projection of each node onto its class's top singular vector."""
+        scores = np.zeros(condensed.num_nodes)
+        for cls in np.unique(condensed.labels):
+            members = np.flatnonzero(condensed.labels == cls)
+            features = condensed.features[members]
+            centred = features - features.mean(axis=0, keepdims=True)
+            if centred.shape[0] < 2:
+                continue
+            # Top right-singular vector of the centred class feature matrix.
+            _, _, vt = np.linalg.svd(centred, full_matrices=False)
+            projections = centred @ vt[0]
+            scores[members] = projections ** 2
+        return scores
+
+    def detect(self, condensed: CondensedGraph) -> DetectionReport:
+        """Score every condensed node and flag the most anomalous ones."""
+        scores = self.score(condensed)
+        flagged = _flag_top_scores(scores, self.contamination)
+        logger.debug("spectral-signature detector flagged %d nodes", int(flagged.sum()))
+        return DetectionReport(scores=scores, flagged=flagged, contamination=self.contamination)
+
+
+def remove_flagged_nodes(condensed: CondensedGraph, report: DetectionReport) -> CondensedGraph:
+    """Return a copy of ``condensed`` with the flagged nodes removed.
+
+    If removal would empty a class entirely, that class's least-suspicious
+    flagged node is kept so the downstream model can still be trained.
+    """
+    keep = ~report.flagged.copy()
+    for cls in np.unique(condensed.labels):
+        members = np.flatnonzero(condensed.labels == cls)
+        if not np.any(keep[members]):
+            least_suspicious = members[np.argmin(report.scores[members])]
+            keep[least_suspicious] = True
+    indices = np.flatnonzero(keep)
+    return CondensedGraph(
+        features=condensed.features[indices],
+        labels=condensed.labels[indices],
+        adjacency=condensed.adjacency[np.ix_(indices, indices)],
+        method=f"{condensed.method}+detection",
+        source=condensed.source,
+        ratio=condensed.ratio,
+        metadata={**condensed.metadata, "removed_nodes": float((~keep).sum())},
+    )
+
+
+def detection_summary(condensed: CondensedGraph, reports: Dict[str, DetectionReport]) -> Dict[str, float]:
+    """Aggregate statistics across detectors for reporting."""
+    summary: Dict[str, float] = {"condensed_nodes": float(condensed.num_nodes)}
+    for name, report in reports.items():
+        summary[f"{name}_flagged"] = float(report.num_flagged)
+        summary[f"{name}_max_score"] = float(report.scores.max()) if report.scores.size else 0.0
+    return summary

@@ -1,0 +1,172 @@
+"""Experiment runner: repeats attack/condensation runs over seeds and aggregates.
+
+This is the layer the benchmark scripts drive.  One
+:class:`ExperimentRunner` call reproduces one cell group of Table II:
+for a (dataset, condenser, ratio) triple it reports the clean condensation
+baseline (C-CTA / C-ASR) and the BGC-attacked numbers (CTA / ASR), averaged
+over seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.attack.bgc import BGC, BGCConfig
+from repro.attack.trigger import TriggerGenerator
+from repro.condensation.base import CondensationConfig, make_condenser
+from repro.datasets import load_dataset
+from repro.evaluation.pipeline import (
+    EvaluationConfig,
+    evaluate_backdoor,
+    evaluate_clean,
+    train_model_on_condensed,
+)
+from repro.graph.data import GraphData
+from repro.utils.logging import get_logger
+from repro.utils.seed import spawn_rngs
+
+logger = get_logger("evaluation.experiment")
+
+
+@dataclass
+class ExperimentResult:
+    """Aggregated metrics of one experimental cell (mean ± std over seeds)."""
+
+    dataset: str
+    condenser: str
+    ratio: float
+    clean_cta_mean: float
+    clean_cta_std: float
+    clean_asr_mean: float
+    clean_asr_std: float
+    attack_cta_mean: float
+    attack_cta_std: float
+    attack_asr_mean: float
+    attack_asr_std: float
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def as_row(self) -> Dict[str, float]:
+        """Flatten into a dictionary suitable for table formatting."""
+        return {
+            "dataset": self.dataset,  # type: ignore[dict-item]
+            "condenser": self.condenser,  # type: ignore[dict-item]
+            "ratio": self.ratio,
+            "C-CTA": self.clean_cta_mean,
+            "C-CTA std": self.clean_cta_std,
+            "CTA": self.attack_cta_mean,
+            "CTA std": self.attack_cta_std,
+            "C-ASR": self.clean_asr_mean,
+            "C-ASR std": self.clean_asr_std,
+            "ASR": self.attack_asr_mean,
+            "ASR std": self.attack_asr_std,
+            **self.extras,
+        }
+
+
+def aggregate_runs(values: Iterable[float]) -> tuple[float, float]:
+    """Mean and standard deviation of a sequence of metric values."""
+    array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0:
+        return float("nan"), float("nan")
+    return float(array.mean()), float(array.std())
+
+
+class ExperimentRunner:
+    """Runs clean-condensation baselines and BGC attacks over multiple seeds."""
+
+    def __init__(
+        self,
+        condensation_config: Optional[CondensationConfig] = None,
+        attack_config: Optional[BGCConfig] = None,
+        evaluation_config: Optional[EvaluationConfig] = None,
+        num_seeds: int = 1,
+        base_seed: int = 0,
+    ) -> None:
+        self.condensation_config = condensation_config or CondensationConfig()
+        self.attack_config = attack_config or BGCConfig()
+        self.evaluation_config = evaluation_config or EvaluationConfig()
+        self.num_seeds = max(1, num_seeds)
+        self.base_seed = base_seed
+
+    # -------------------------------------------------------------- #
+    # Single cells
+    # -------------------------------------------------------------- #
+    def run_clean(
+        self, graph: GraphData, condenser_name: str, seed: int, generator: Optional[TriggerGenerator]
+    ) -> tuple[float, float]:
+        """Clean condensation baseline: C-CTA and (if a generator is given) C-ASR."""
+        condense_rng, eval_rng = spawn_rngs(seed, 2)
+        condenser = make_condenser(condenser_name, self.condensation_config)
+        condensed = condenser.condense(graph, condense_rng)
+        model = train_model_on_condensed(condensed, graph, self.evaluation_config, eval_rng)
+        cta = evaluate_clean(model, graph)
+        asr = float("nan")
+        if generator is not None:
+            asr = evaluate_backdoor(
+                model, graph, generator, self.attack_config.target_class
+            )
+        return cta, asr
+
+    def run_attack(
+        self, graph: GraphData, condenser_name: str, seed: int
+    ) -> tuple[float, float, TriggerGenerator]:
+        """BGC attack: returns (CTA, ASR, trigger generator) for one seed."""
+        attack_rng, eval_rng = spawn_rngs(seed + 10_000, 2)
+        condenser = make_condenser(condenser_name, self.condensation_config)
+        attack = BGC(self.attack_config)
+        result = attack.run(graph, condenser, attack_rng)
+        model = train_model_on_condensed(result.condensed, graph, self.evaluation_config, eval_rng)
+        cta = evaluate_clean(model, graph)
+        asr = evaluate_backdoor(model, graph, result.generator, result.target_class)
+        return cta, asr, result.generator
+
+    # -------------------------------------------------------------- #
+    # Full cell (paper table entry)
+    # -------------------------------------------------------------- #
+    def run_cell(self, dataset: str, condenser_name: str, ratio: float) -> ExperimentResult:
+        """Reproduce one (dataset, condenser, ratio) cell of Table II."""
+        self.condensation_config.ratio = ratio
+        clean_ctas: List[float] = []
+        clean_asrs: List[float] = []
+        attack_ctas: List[float] = []
+        attack_asrs: List[float] = []
+        for trial in range(self.num_seeds):
+            seed = self.base_seed + trial
+            graph = load_dataset(dataset, seed=self.base_seed)
+            attack_cta, attack_asr, generator = self.run_attack(graph, condenser_name, seed)
+            clean_cta, clean_asr = self.run_clean(graph, condenser_name, seed, generator)
+            clean_ctas.append(clean_cta)
+            clean_asrs.append(clean_asr)
+            attack_ctas.append(attack_cta)
+            attack_asrs.append(attack_asr)
+            logger.info(
+                "%s/%s r=%.4f seed=%d  C-CTA=%.3f CTA=%.3f C-ASR=%.3f ASR=%.3f",
+                dataset,
+                condenser_name,
+                ratio,
+                seed,
+                clean_cta,
+                attack_cta,
+                clean_asr,
+                attack_asr,
+            )
+        clean_cta_mean, clean_cta_std = aggregate_runs(clean_ctas)
+        clean_asr_mean, clean_asr_std = aggregate_runs(clean_asrs)
+        attack_cta_mean, attack_cta_std = aggregate_runs(attack_ctas)
+        attack_asr_mean, attack_asr_std = aggregate_runs(attack_asrs)
+        return ExperimentResult(
+            dataset=dataset,
+            condenser=condenser_name,
+            ratio=ratio,
+            clean_cta_mean=clean_cta_mean,
+            clean_cta_std=clean_cta_std,
+            clean_asr_mean=clean_asr_mean,
+            clean_asr_std=clean_asr_std,
+            attack_cta_mean=attack_cta_mean,
+            attack_cta_std=attack_cta_std,
+            attack_asr_mean=attack_asr_mean,
+            attack_asr_std=attack_asr_std,
+        )

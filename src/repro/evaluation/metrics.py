@@ -1,0 +1,67 @@
+"""Attack metrics: clean test accuracy (CTA) and attack success rate (ASR)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def clean_test_accuracy(
+    predictions: np.ndarray, labels: np.ndarray, test_index: np.ndarray
+) -> float:
+    """Fraction of clean test nodes classified correctly (CTA).
+
+    Parameters
+    ----------
+    predictions:
+        Predicted labels for every node of the graph.
+    labels:
+        Ground-truth labels for every node.
+    test_index:
+        Indices of the test nodes.
+    """
+    test_index = np.asarray(test_index, dtype=np.int64)
+    if test_index.size == 0:
+        raise ConfigurationError("clean_test_accuracy requires a non-empty test set")
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    return float(np.mean(predictions[test_index] == labels[test_index]))
+
+
+def attack_success_rate(
+    triggered_predictions: np.ndarray,
+    labels: np.ndarray,
+    test_index: np.ndarray,
+    target_class: int,
+    exclude_target_class: bool = True,
+) -> float:
+    """Fraction of triggered test nodes classified into the target class (ASR).
+
+    Test nodes whose true label already equals the target class are excluded
+    by default, so a clean model scores roughly chance level (the C-ASR
+    columns of Table II).
+
+    Parameters
+    ----------
+    triggered_predictions:
+        Predictions for every node of the *triggered* graph (indices of the
+        original nodes are preserved by trigger attachment).
+    labels:
+        Ground-truth labels of the original graph.
+    test_index:
+        Indices of the test nodes (in the original graph).
+    target_class:
+        The attacker's target label ``y_t``.
+    """
+    test_index = np.asarray(test_index, dtype=np.int64)
+    labels = np.asarray(labels)
+    predictions = np.asarray(triggered_predictions)
+    if exclude_target_class:
+        test_index = test_index[labels[test_index] != target_class]
+    if test_index.size == 0:
+        raise ConfigurationError(
+            "attack_success_rate has no evaluable test nodes "
+            "(is every test node already of the target class?)"
+        )
+    return float(np.mean(predictions[test_index] == target_class))

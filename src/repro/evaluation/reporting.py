@@ -1,0 +1,49 @@
+"""Plain-text table formatting for benchmark output.
+
+Benchmarks print the same rows/series as the paper's tables and figures; this
+module renders lists of dictionaries as aligned text tables without any
+third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def format_percent(value: float, decimals: int = 2) -> str:
+    """Format a fraction in [0, 1] as a percentage string."""
+    if value != value:  # NaN
+        return "--"
+    return f"{100.0 * value:.{decimals}f}"
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Iterable[str] | None = None,
+    float_decimals: int = 3,
+) -> str:
+    """Render rows (dicts) as an aligned plain-text table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    columns = list(columns)
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            if value != value:
+                return "--"
+            return f"{value:.{float_decimals}f}"
+        return str(value)
+
+    rendered: List[List[str]] = [[render(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in rendered)) for i, col in enumerate(columns)
+    ]
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "-+-".join("-" * width for width in widths)
+    body = "\n".join(
+        " | ".join(line[i].ljust(widths[i]) for i in range(len(columns))) for line in rendered
+    )
+    return f"{header}\n{separator}\n{body}"

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the BGC reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch a single base class when driving experiments programmatically.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class GraphValidationError(ReproError):
+    """Raised when a graph container fails structural validation."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a configuration object holds inconsistent values."""
+
+
+class CondensationError(ReproError):
+    """Raised when a condensation run cannot proceed."""
+
+
+class AttackError(ReproError):
+    """Raised when an attack is configured or executed incorrectly."""
+
+
+class DefenseError(ReproError):
+    """Raised when a defense is configured or executed incorrectly."""
+
+
+class AutogradError(ReproError):
+    """Raised by the autograd engine for invalid tensor operations."""
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset cannot be generated or validated."""

@@ -1,0 +1,37 @@
+"""Graph substrate: data containers, normalisation and propagation utilities."""
+
+from repro.graph.data import GraphData
+from repro.graph.normalize import (
+    gcn_normalize,
+    row_normalize,
+    add_self_loops,
+    symmetric_laplacian,
+)
+from repro.graph.propagation import sgc_precompute, appnp_propagate, chebyshev_polynomials
+from repro.graph.subgraph import k_hop_subgraph, induced_subgraph, attach_trigger_subgraph
+from repro.graph.generators import (
+    stochastic_block_model,
+    degree_corrected_sbm,
+    class_correlated_features,
+)
+from repro.graph.splits import SplitIndices, make_planetoid_split, make_inductive_split
+
+__all__ = [
+    "GraphData",
+    "gcn_normalize",
+    "row_normalize",
+    "add_self_loops",
+    "symmetric_laplacian",
+    "sgc_precompute",
+    "appnp_propagate",
+    "chebyshev_polynomials",
+    "k_hop_subgraph",
+    "induced_subgraph",
+    "attach_trigger_subgraph",
+    "stochastic_block_model",
+    "degree_corrected_sbm",
+    "class_correlated_features",
+    "SplitIndices",
+    "make_planetoid_split",
+    "make_inductive_split",
+]

@@ -1,0 +1,163 @@
+"""The :class:`GraphData` container used throughout the library.
+
+A ``GraphData`` bundles an adjacency matrix (scipy CSR), a dense feature
+matrix, integer node labels and the train/validation/test split.  It is
+immutable by convention: every transformation (poisoning, condensation,
+pruning) returns a new instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import GraphValidationError
+from repro.graph.splits import SplitIndices
+
+
+@dataclass
+class GraphData:
+    """A node-classification graph dataset.
+
+    Attributes
+    ----------
+    adjacency:
+        ``(N, N)`` scipy sparse matrix, binary and symmetric for undirected
+        graphs (self-loops are added during normalisation, not stored here).
+    features:
+        ``(N, d)`` dense float feature matrix.
+    labels:
+        ``(N,)`` integer class labels in ``[0, num_classes)``.
+    split:
+        Train / validation / test node indices.
+    name:
+        Human-readable dataset name.
+    inductive:
+        Whether the dataset uses the inductive protocol (training uses only
+        the subgraph induced by the training nodes, as for Flickr / Reddit).
+    """
+
+    adjacency: sp.spmatrix
+    features: np.ndarray
+    labels: np.ndarray
+    split: SplitIndices
+    name: str = "graph"
+    inductive: bool = False
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.adjacency = self.adjacency.tocsr().astype(np.float64)
+        self.features = np.asarray(self.features, dtype=np.float64)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        self.validate()
+
+    # -------------------------------------------------------------- #
+    # Validation and basic properties
+    # -------------------------------------------------------------- #
+    def validate(self) -> None:
+        """Raise :class:`GraphValidationError` if the container is inconsistent."""
+        n = self.adjacency.shape[0]
+        if self.adjacency.shape[0] != self.adjacency.shape[1]:
+            raise GraphValidationError(
+                f"adjacency must be square, got shape {self.adjacency.shape}"
+            )
+        if self.features.ndim != 2 or self.features.shape[0] != n:
+            raise GraphValidationError(
+                f"features must have shape (N, d) with N={n}, got {self.features.shape}"
+            )
+        if self.labels.shape != (n,):
+            raise GraphValidationError(
+                f"labels must have shape ({n},), got {self.labels.shape}"
+            )
+        if self.labels.size and self.labels.min() < 0:
+            raise GraphValidationError("labels must be non-negative integers")
+        for split_name, index in (
+            ("train", self.split.train),
+            ("val", self.split.val),
+            ("test", self.split.test),
+        ):
+            if index.size and (index.min() < 0 or index.max() >= n):
+                raise GraphValidationError(
+                    f"{split_name} indices out of range for graph with {n} nodes"
+                )
+
+    @property
+    def num_nodes(self) -> int:
+        return self.adjacency.shape[0]
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges (each counted once)."""
+        return int(self.adjacency.nnz // 2)
+
+    @property
+    def num_features(self) -> int:
+        return self.features.shape[1]
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.labels.max()) + 1 if self.labels.size else 0
+
+    def degrees(self) -> np.ndarray:
+        """Return the (out-)degree of every node."""
+        return np.asarray(self.adjacency.sum(axis=1)).reshape(-1)
+
+    # -------------------------------------------------------------- #
+    # Transformations
+    # -------------------------------------------------------------- #
+    def with_(self, **changes) -> "GraphData":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def copy(self) -> "GraphData":
+        """Deep copy of the graph container."""
+        return GraphData(
+            adjacency=self.adjacency.copy(),
+            features=self.features.copy(),
+            labels=self.labels.copy(),
+            split=self.split.copy(),
+            name=self.name,
+            inductive=self.inductive,
+            metadata=dict(self.metadata),
+        )
+
+    def training_view(self) -> "GraphData":
+        """Return the graph visible at training time.
+
+        For transductive datasets this is the full graph.  For inductive
+        datasets (Flickr / Reddit protocol) it is the subgraph induced by the
+        training nodes, relabelled to ``0..n_train-1``.
+        """
+        if not self.inductive:
+            return self
+        from repro.graph.subgraph import induced_subgraph
+
+        sub_adj, sub_feat, sub_labels, mapping = induced_subgraph(
+            self.adjacency, self.features, self.labels, self.split.train
+        )
+        train_idx = np.arange(len(self.split.train))
+        empty = np.array([], dtype=np.int64)
+        return GraphData(
+            adjacency=sub_adj,
+            features=sub_feat,
+            labels=sub_labels,
+            split=SplitIndices(train=train_idx, val=empty, test=empty),
+            name=f"{self.name}-train",
+            inductive=False,
+            metadata={**self.metadata, "parent_nodes": float(self.num_nodes)},
+        )
+
+    def summary(self) -> Dict[str, float]:
+        """Return the headline statistics used in Table I."""
+        return {
+            "nodes": float(self.num_nodes),
+            "edges": float(self.num_edges),
+            "classes": float(self.num_classes),
+            "features": float(self.num_features),
+            "train": float(self.split.train.size),
+            "val": float(self.split.val.size),
+            "test": float(self.split.test.size),
+        }

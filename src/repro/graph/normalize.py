@@ -1,0 +1,66 @@
+"""Adjacency normalisation schemes used by the GNN models."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import GraphValidationError
+
+
+def add_self_loops(adjacency: sp.spmatrix, weight: float = 1.0) -> sp.csr_matrix:
+    """Return ``A + weight * I`` as CSR."""
+    n = adjacency.shape[0]
+    return (adjacency + weight * sp.eye(n, format="csr")).tocsr()
+
+
+def gcn_normalize(adjacency: sp.spmatrix, add_loops: bool = True) -> sp.csr_matrix:
+    """Symmetric GCN normalisation ``D^{-1/2} (A + I) D^{-1/2}``.
+
+    Isolated nodes (zero degree after self-loop handling) receive zero rows
+    rather than NaNs.
+    """
+    if adjacency.shape[0] != adjacency.shape[1]:
+        raise GraphValidationError(f"adjacency must be square, got {adjacency.shape}")
+    matrix = add_self_loops(adjacency) if add_loops else adjacency.tocsr()
+    degrees = np.asarray(matrix.sum(axis=1)).reshape(-1)
+    inv_sqrt = np.zeros_like(degrees)
+    nonzero = degrees > 0
+    inv_sqrt[nonzero] = 1.0 / np.sqrt(degrees[nonzero])
+    d_inv_sqrt = sp.diags(inv_sqrt)
+    return (d_inv_sqrt @ matrix @ d_inv_sqrt).tocsr()
+
+
+def row_normalize(matrix: sp.spmatrix | np.ndarray):
+    """Row-normalise a sparse adjacency or a dense feature matrix."""
+    if sp.issparse(matrix):
+        sums = np.asarray(matrix.sum(axis=1)).reshape(-1)
+        inv = np.zeros_like(sums)
+        nonzero = sums > 0
+        inv[nonzero] = 1.0 / sums[nonzero]
+        return (sp.diags(inv) @ matrix).tocsr()
+    dense = np.asarray(matrix, dtype=np.float64)
+    sums = dense.sum(axis=1, keepdims=True)
+    sums[sums == 0] = 1.0
+    return dense / sums
+
+
+def symmetric_laplacian(adjacency: sp.spmatrix) -> sp.csr_matrix:
+    """Normalised Laplacian ``I - D^{-1/2} A D^{-1/2}`` (no self-loops added)."""
+    n = adjacency.shape[0]
+    normalized = gcn_normalize(adjacency, add_loops=False)
+    return (sp.eye(n, format="csr") - normalized).tocsr()
+
+
+def dense_gcn_normalize(adjacency: np.ndarray, add_loops: bool = True) -> np.ndarray:
+    """Dense counterpart of :func:`gcn_normalize` for small condensed graphs."""
+    matrix = np.asarray(adjacency, dtype=np.float64)
+    if matrix.shape[0] != matrix.shape[1]:
+        raise GraphValidationError(f"adjacency must be square, got {matrix.shape}")
+    if add_loops:
+        matrix = matrix + np.eye(matrix.shape[0])
+    degrees = matrix.sum(axis=1)
+    inv_sqrt = np.zeros_like(degrees)
+    nonzero = degrees > 0
+    inv_sqrt[nonzero] = 1.0 / np.sqrt(degrees[nonzero])
+    return matrix * inv_sqrt[:, None] * inv_sqrt[None, :]

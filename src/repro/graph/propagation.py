@@ -1,0 +1,81 @@
+"""Feature propagation kernels shared by the GNN models and condensers."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import GraphValidationError
+from repro.graph.normalize import gcn_normalize, symmetric_laplacian
+
+
+def sgc_precompute(
+    adjacency: sp.spmatrix, features: np.ndarray, num_hops: int
+) -> np.ndarray:
+    """Return ``(D^{-1/2}(A+I)D^{-1/2})^K X`` — the SGC propagated features."""
+    if num_hops < 0:
+        raise GraphValidationError(f"num_hops must be non-negative, got {num_hops}")
+    normalized = gcn_normalize(adjacency)
+    propagated = np.asarray(features, dtype=np.float64)
+    for _ in range(num_hops):
+        propagated = normalized @ propagated
+    return propagated
+
+
+def appnp_propagate(
+    adjacency: sp.spmatrix,
+    predictions: np.ndarray,
+    num_iterations: int,
+    teleport: float,
+) -> np.ndarray:
+    """Personalised-PageRank propagation used by APPNP.
+
+    ``Z^{t+1} = (1 - alpha) * Â Z^t + alpha * H`` starting from ``Z^0 = H``.
+    """
+    if not 0.0 < teleport <= 1.0:
+        raise GraphValidationError(f"teleport must lie in (0, 1], got {teleport}")
+    normalized = gcn_normalize(adjacency)
+    base = np.asarray(predictions, dtype=np.float64)
+    state = base.copy()
+    for _ in range(num_iterations):
+        state = (1.0 - teleport) * (normalized @ state) + teleport * base
+    return state
+
+
+def chebyshev_polynomials(
+    adjacency: sp.spmatrix, features: np.ndarray, order: int
+) -> List[np.ndarray]:
+    """Return ``[T_0(L̃)X, ..., T_{order}(L̃)X]`` for ChebyNet.
+
+    The Laplacian is rescaled as ``L̃ = 2L/λ_max - I`` with ``λ_max ≈ 2`` (the
+    usual approximation), i.e. ``L̃ = L - I = -D^{-1/2} A D^{-1/2}``.
+    """
+    if order < 0:
+        raise GraphValidationError(f"order must be non-negative, got {order}")
+    features = np.asarray(features, dtype=np.float64)
+    laplacian = symmetric_laplacian(adjacency)
+    n = adjacency.shape[0]
+    rescaled = (laplacian - sp.eye(n, format="csr")).tocsr()
+
+    polynomials = [features]
+    if order >= 1:
+        polynomials.append(rescaled @ features)
+    for _ in range(2, order + 1):
+        next_term = 2.0 * (rescaled @ polynomials[-1]) - polynomials[-2]
+        polynomials.append(next_term)
+    return polynomials
+
+
+def dense_sgc_precompute(
+    adjacency: np.ndarray, features: np.ndarray, num_hops: int
+) -> np.ndarray:
+    """Dense counterpart of :func:`sgc_precompute` for condensed graphs."""
+    from repro.graph.normalize import dense_gcn_normalize
+
+    normalized = dense_gcn_normalize(adjacency)
+    propagated = np.asarray(features, dtype=np.float64)
+    for _ in range(num_hops):
+        propagated = normalized @ propagated
+    return propagated

@@ -1,0 +1,102 @@
+"""Train / validation / test split handling."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import GraphValidationError
+
+
+@dataclass
+class SplitIndices:
+    """Index arrays for the three standard splits."""
+
+    train: np.ndarray
+    val: np.ndarray
+    test: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.train = np.asarray(self.train, dtype=np.int64)
+        self.val = np.asarray(self.val, dtype=np.int64)
+        self.test = np.asarray(self.test, dtype=np.int64)
+
+    def copy(self) -> "SplitIndices":
+        return SplitIndices(self.train.copy(), self.val.copy(), self.test.copy())
+
+    def validate_disjoint(self) -> None:
+        """Raise if the three splits overlap."""
+        train_set = set(self.train.tolist())
+        val_set = set(self.val.tolist())
+        test_set = set(self.test.tolist())
+        if train_set & val_set or train_set & test_set or val_set & test_set:
+            raise GraphValidationError("train/val/test splits overlap")
+
+    @property
+    def sizes(self) -> tuple[int, int, int]:
+        return (self.train.size, self.val.size, self.test.size)
+
+
+def make_planetoid_split(
+    labels: np.ndarray,
+    train_per_class: int,
+    num_val: int,
+    num_test: int,
+    rng: np.random.Generator,
+) -> SplitIndices:
+    """Create a Planetoid-style transductive split (Cora / Citeseer protocol).
+
+    ``train_per_class`` labelled nodes per class, then ``num_val`` validation
+    and ``num_test`` test nodes drawn from the remaining nodes.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    num_nodes = labels.shape[0]
+    classes = np.unique(labels)
+    train: list[int] = []
+    for cls in classes:
+        candidates = np.flatnonzero(labels == cls)
+        if candidates.size < train_per_class:
+            raise GraphValidationError(
+                f"class {cls} has only {candidates.size} nodes, "
+                f"cannot draw {train_per_class} training nodes"
+            )
+        chosen = rng.choice(candidates, size=train_per_class, replace=False)
+        train.extend(chosen.tolist())
+    train_arr = np.asarray(sorted(train), dtype=np.int64)
+    remaining = np.setdiff1d(np.arange(num_nodes), train_arr)
+    if remaining.size < num_val + num_test:
+        raise GraphValidationError(
+            f"not enough remaining nodes ({remaining.size}) for "
+            f"{num_val} validation + {num_test} test nodes"
+        )
+    shuffled = rng.permutation(remaining)
+    val = np.sort(shuffled[:num_val])
+    test = np.sort(shuffled[num_val : num_val + num_test])
+    split = SplitIndices(train=train_arr, val=val, test=test)
+    split.validate_disjoint()
+    return split
+
+
+def make_inductive_split(
+    num_nodes: int,
+    train_fraction: float,
+    val_fraction: float,
+    rng: np.random.Generator,
+) -> SplitIndices:
+    """Create an inductive split (Flickr / Reddit protocol) by node fractions."""
+    if not 0.0 < train_fraction < 1.0 or not 0.0 <= val_fraction < 1.0:
+        raise GraphValidationError(
+            f"fractions must lie in (0, 1): train={train_fraction}, val={val_fraction}"
+        )
+    if train_fraction + val_fraction >= 1.0:
+        raise GraphValidationError("train + val fractions must leave room for a test split")
+    permutation = rng.permutation(num_nodes)
+    n_train = int(round(train_fraction * num_nodes))
+    n_val = int(round(val_fraction * num_nodes))
+    train = np.sort(permutation[:n_train])
+    val = np.sort(permutation[n_train : n_train + n_val])
+    test = np.sort(permutation[n_train + n_val :])
+    split = SplitIndices(train=train, val=val, test=test)
+    split.validate_disjoint()
+    return split

@@ -1,0 +1,162 @@
+"""Subgraph extraction and trigger-attachment primitives.
+
+Two operations matter for BGC:
+
+* extracting the k-hop *computation graph* of a node (the receptive field a
+  GNN prediction for that node depends on), and
+* attaching a small trigger subgraph (features + internal structure) to a
+  target node, producing the poisoned adjacency/feature matrices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import GraphValidationError
+
+
+def k_hop_subgraph(
+    adjacency: sp.spmatrix, center: int, num_hops: int
+) -> Tuple[np.ndarray, sp.csr_matrix]:
+    """Return the nodes and induced adjacency of the k-hop ball around ``center``.
+
+    Returns
+    -------
+    nodes:
+        Sorted node indices inside the ball (the center is always included).
+    sub_adjacency:
+        Induced adjacency among ``nodes`` (rows/cols follow ``nodes`` order).
+    """
+    n = adjacency.shape[0]
+    if not 0 <= center < n:
+        raise GraphValidationError(f"center {center} out of range for {n} nodes")
+    csr = adjacency.tocsr()
+    frontier = {center}
+    visited = {center}
+    for _ in range(num_hops):
+        next_frontier: set[int] = set()
+        for node in frontier:
+            neighbors = csr.indices[csr.indptr[node] : csr.indptr[node + 1]]
+            for neighbor in neighbors.tolist():
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    next_frontier.add(neighbor)
+        frontier = next_frontier
+        if not frontier:
+            break
+    nodes = np.asarray(sorted(visited), dtype=np.int64)
+    sub_adjacency = csr[nodes][:, nodes].tocsr()
+    return nodes, sub_adjacency
+
+
+def induced_subgraph(
+    adjacency: sp.spmatrix,
+    features: np.ndarray,
+    labels: np.ndarray,
+    nodes: np.ndarray,
+) -> Tuple[sp.csr_matrix, np.ndarray, np.ndarray, Dict[int, int]]:
+    """Extract the subgraph induced by ``nodes`` with relabelled indices.
+
+    Returns the induced adjacency, features, labels and a mapping from
+    original node id to new (0-based) id.
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    csr = adjacency.tocsr()
+    sub_adj = csr[nodes][:, nodes].tocsr()
+    sub_features = np.asarray(features)[nodes]
+    sub_labels = np.asarray(labels)[nodes]
+    mapping = {int(original): new for new, original in enumerate(nodes.tolist())}
+    return sub_adj, sub_features, sub_labels, mapping
+
+
+def attach_trigger_subgraph(
+    adjacency: sp.spmatrix,
+    features: np.ndarray,
+    target_nodes: np.ndarray,
+    trigger_features: np.ndarray,
+    trigger_adjacency: np.ndarray,
+) -> Tuple[sp.csr_matrix, np.ndarray, np.ndarray]:
+    """Attach one trigger subgraph per target node.
+
+    Parameters
+    ----------
+    adjacency, features:
+        The host graph.
+    target_nodes:
+        ``(P,)`` node indices to poison.
+    trigger_features:
+        ``(P, t, d)`` features of each node's trigger (``t`` trigger nodes).
+    trigger_adjacency:
+        ``(P, t, t)`` binary internal adjacency of each trigger.
+
+    Returns
+    -------
+    new_adjacency, new_features, trigger_node_index:
+        The poisoned graph plus, for each target node, the indices of its
+        trigger nodes in the new graph (shape ``(P, t)``).
+
+    Each trigger node is connected to its host target node; internal trigger
+    edges follow ``trigger_adjacency``.  The original nodes keep their ids.
+    """
+    target_nodes = np.asarray(target_nodes, dtype=np.int64)
+    trigger_features = np.asarray(trigger_features, dtype=np.float64)
+    trigger_adjacency = np.asarray(trigger_adjacency, dtype=np.float64)
+    if trigger_features.ndim != 3:
+        raise GraphValidationError(
+            f"trigger_features must have shape (P, t, d), got {trigger_features.shape}"
+        )
+    num_targets, trigger_size, feature_dim = trigger_features.shape
+    if target_nodes.shape[0] != num_targets:
+        raise GraphValidationError(
+            f"got {target_nodes.shape[0]} target nodes but {num_targets} trigger blocks"
+        )
+    if trigger_adjacency.shape != (num_targets, trigger_size, trigger_size):
+        raise GraphValidationError(
+            "trigger_adjacency must have shape (P, t, t), got "
+            f"{trigger_adjacency.shape}"
+        )
+    if features.shape[1] != feature_dim:
+        raise GraphValidationError(
+            f"trigger feature dim {feature_dim} does not match graph dim {features.shape[1]}"
+        )
+
+    n = adjacency.shape[0]
+    total_trigger_nodes = num_targets * trigger_size
+    new_n = n + total_trigger_nodes
+
+    new_features = np.vstack([np.asarray(features, dtype=np.float64),
+                              trigger_features.reshape(total_trigger_nodes, feature_dim)])
+
+    rows = []
+    cols = []
+    trigger_node_index = np.zeros((num_targets, trigger_size), dtype=np.int64)
+    for i, target in enumerate(target_nodes.tolist()):
+        base = n + i * trigger_size
+        trigger_node_index[i] = np.arange(base, base + trigger_size)
+        # Connect the host node to the first trigger node (and symmetrically).
+        rows.extend([target, base])
+        cols.extend([base, target])
+        # Internal trigger edges.
+        block = trigger_adjacency[i]
+        internal_rows, internal_cols = np.nonzero(np.triu(block, k=1))
+        for r, c in zip(internal_rows.tolist(), internal_cols.tolist()):
+            rows.extend([base + r, base + c])
+            cols.extend([base + c, base + r])
+
+    data = np.ones(len(rows), dtype=np.float64)
+    trigger_edges = sp.csr_matrix((data, (rows, cols)), shape=(new_n, new_n))
+    expanded = _expand(adjacency, new_n)
+    new_adjacency = (expanded + trigger_edges).tocsr()
+    new_adjacency.data = np.minimum(new_adjacency.data, 1.0)
+    return new_adjacency, new_features, trigger_node_index
+
+
+def _expand(adjacency: sp.spmatrix, new_size: int) -> sp.csr_matrix:
+    """Embed ``adjacency`` in the top-left corner of a larger zero matrix."""
+    coo = adjacency.tocoo()
+    return sp.csr_matrix(
+        (coo.data, (coo.row, coo.col)), shape=(new_size, new_size)
+    )

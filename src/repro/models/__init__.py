@@ -1,0 +1,34 @@
+"""GNN architectures built on the numpy autograd engine.
+
+All models share the :class:`~repro.models.base.NodeClassifier` interface:
+``forward(adjacency, features)`` returns logits for every node, where
+``adjacency`` may be a scipy sparse matrix (large original graphs) or a dense
+numpy array (small condensed graphs).  Training is handled by
+:class:`~repro.models.trainer.Trainer`.
+"""
+
+from repro.models.base import NodeClassifier, make_model, available_architectures
+from repro.models.gcn import GCN
+from repro.models.sgc import SGC
+from repro.models.sage import GraphSAGE
+from repro.models.mlp import MLP
+from repro.models.appnp import APPNP
+from repro.models.cheby import ChebyNet
+from repro.models.transformer import TransformerEncoderLayer
+from repro.models.trainer import Trainer, TrainingConfig, TrainingResult
+
+__all__ = [
+    "NodeClassifier",
+    "make_model",
+    "available_architectures",
+    "GCN",
+    "SGC",
+    "GraphSAGE",
+    "MLP",
+    "APPNP",
+    "ChebyNet",
+    "TransformerEncoderLayer",
+    "Trainer",
+    "TrainingConfig",
+    "TrainingResult",
+]

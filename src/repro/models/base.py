@@ -1,0 +1,95 @@
+"""Shared infrastructure for node-classification models."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd import Module, Tensor
+from repro.autograd.tensor import sparse_matmul
+from repro.exceptions import ConfigurationError
+from repro.graph.normalize import dense_gcn_normalize, gcn_normalize
+
+Adjacency = Union[sp.spmatrix, np.ndarray]
+
+
+def normalize_adjacency(adjacency: Adjacency, add_loops: bool = True) -> Adjacency:
+    """GCN-normalise either a sparse or a dense adjacency matrix."""
+    if sp.issparse(adjacency):
+        return gcn_normalize(adjacency, add_loops=add_loops)
+    return dense_gcn_normalize(np.asarray(adjacency), add_loops=add_loops)
+
+
+def propagate(operator: Adjacency, x: Tensor) -> Tensor:
+    """Multiply a (constant) propagation operator by a dense tensor."""
+    if sp.issparse(operator):
+        return sparse_matmul(operator, x)
+    return Tensor(np.asarray(operator, dtype=np.float64)).matmul(x)
+
+
+class NodeClassifier(Module):
+    """Base class: a module mapping ``(adjacency, features)`` to node logits."""
+
+    def __init__(self, in_features: int, num_classes: int) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.num_classes = num_classes
+
+    def forward(self, adjacency: Adjacency, features: Union[np.ndarray, Tensor]) -> Tensor:
+        raise NotImplementedError
+
+    def predict(self, adjacency: Adjacency, features: Union[np.ndarray, Tensor]) -> np.ndarray:
+        """Return hard label predictions for every node."""
+        from repro.autograd.tensor import no_grad
+
+        was_training = self.training
+        self.eval()
+        with no_grad():
+            logits = self.forward(adjacency, features)
+        if was_training:
+            self.train()
+        return np.argmax(logits.data, axis=1)
+
+    @staticmethod
+    def as_tensor(features: Union[np.ndarray, Tensor]) -> Tensor:
+        return features if isinstance(features, Tensor) else Tensor(features)
+
+
+_MODEL_FACTORIES: Dict[str, Callable[..., NodeClassifier]] = {}
+
+
+def register_architecture(name: str, factory: Callable[..., NodeClassifier]) -> None:
+    """Register an architecture under ``name`` for :func:`make_model`."""
+    _MODEL_FACTORIES[name.lower()] = factory
+
+
+def available_architectures() -> list[str]:
+    """Names accepted by :func:`make_model` (the Table III architectures)."""
+    return sorted(_MODEL_FACTORIES)
+
+
+def make_model(
+    name: str,
+    in_features: int,
+    num_classes: int,
+    rng: np.random.Generator,
+    hidden: int = 64,
+    num_layers: int = 2,
+    dropout: float = 0.5,
+) -> NodeClassifier:
+    """Instantiate an architecture by name (``gcn``, ``sgc``, ``sage``, ...)."""
+    key = name.lower()
+    if key not in _MODEL_FACTORIES:
+        raise ConfigurationError(
+            f"unknown architecture {name!r}; available: {', '.join(available_architectures())}"
+        )
+    return _MODEL_FACTORIES[key](
+        in_features=in_features,
+        num_classes=num_classes,
+        rng=rng,
+        hidden=hidden,
+        num_layers=num_layers,
+        dropout=dropout,
+    )

@@ -1,0 +1,82 @@
+"""ChebyNet: spectral convolution with Chebyshev polynomial filters."""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd import Linear, Tensor
+from repro.autograd import functional as F
+from repro.exceptions import ConfigurationError
+from repro.models.base import Adjacency, NodeClassifier, propagate, register_architecture
+from repro.graph.normalize import dense_gcn_normalize, gcn_normalize
+
+
+class ChebyNet(NodeClassifier):
+    """Two-layer ChebyNet with filters of order ``cheb_order`` (default 2).
+
+    The rescaled Laplacian uses the λ_max ≈ 2 approximation, i.e.
+    ``L̃ = -D^{-1/2} A D^{-1/2}``.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        num_classes: int,
+        rng: np.random.Generator,
+        hidden: int = 64,
+        num_layers: int = 2,
+        dropout: float = 0.5,
+        cheb_order: int = 2,
+    ) -> None:
+        super().__init__(in_features, num_classes)
+        if cheb_order < 1:
+            raise ConfigurationError(f"cheb_order must be >= 1, got {cheb_order}")
+        if num_layers < 1:
+            raise ConfigurationError(f"num_layers must be >= 1, got {num_layers}")
+        self.cheb_order = cheb_order
+        self.num_layers = num_layers
+        self.dropout_rate = dropout
+        self._rng = rng
+        dims = [in_features] + [hidden] * (num_layers - 1) + [num_classes]
+        for layer_index in range(num_layers):
+            for k in range(cheb_order + 1):
+                linear = Linear(dims[layer_index], dims[layer_index + 1], rng=rng, bias=(k == 0))
+                self.register_module(f"cheb_{layer_index}_{k}", linear)
+
+    def forward(self, adjacency: Adjacency, features: Union[np.ndarray, Tensor]) -> Tensor:
+        operator = self._rescaled_laplacian(adjacency)
+        hidden = self.as_tensor(features)
+        for layer_index in range(self.num_layers):
+            terms = self._chebyshev_terms(operator, hidden)
+            combined = None
+            for k, term in enumerate(terms):
+                linear: Linear = getattr(self, f"cheb_{layer_index}_{k}")
+                projected = linear(term)
+                combined = projected if combined is None else combined + projected
+            hidden = combined
+            if layer_index < self.num_layers - 1:
+                hidden = F.relu(hidden)
+                hidden = F.dropout(hidden, self.dropout_rate, self._rng, training=self.training)
+        return hidden
+
+    def _chebyshev_terms(self, operator, x: Tensor) -> List[Tensor]:
+        terms = [x]
+        if self.cheb_order >= 1:
+            terms.append(propagate(operator, x))
+        for _ in range(2, self.cheb_order + 1):
+            nxt = propagate(operator, terms[-1]) * 2.0 - terms[-2]
+            terms.append(nxt)
+        return terms
+
+    @staticmethod
+    def _rescaled_laplacian(adjacency: Adjacency):
+        """Return ``L̃ = L_sym - I = -Â`` (λ_max ≈ 2 approximation)."""
+        if sp.issparse(adjacency):
+            return (-gcn_normalize(adjacency, add_loops=False)).tocsr()
+        return -dense_gcn_normalize(np.asarray(adjacency), add_loops=False)
+
+
+register_architecture("cheby", ChebyNet)

@@ -1,0 +1,64 @@
+"""GraphSAGE with mean aggregation (Hamilton et al., 2017)."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd import Linear, Tensor
+from repro.autograd import functional as F
+from repro.exceptions import ConfigurationError
+from repro.graph.normalize import row_normalize
+from repro.models.base import Adjacency, NodeClassifier, propagate, register_architecture
+
+
+class GraphSAGE(NodeClassifier):
+    """Mean-aggregator GraphSAGE: ``h = act(W_self x + W_neigh · mean(neighbours))``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        num_classes: int,
+        rng: np.random.Generator,
+        hidden: int = 64,
+        num_layers: int = 2,
+        dropout: float = 0.5,
+    ) -> None:
+        super().__init__(in_features, num_classes)
+        if num_layers < 1:
+            raise ConfigurationError(f"num_layers must be >= 1, got {num_layers}")
+        self.num_layers = num_layers
+        self.dropout_rate = dropout
+        self._rng = rng
+        dims = [in_features] + [hidden] * (num_layers - 1) + [num_classes]
+        for index in range(num_layers):
+            self.register_module(f"self_{index}", Linear(dims[index], dims[index + 1], rng=rng))
+            self.register_module(f"neigh_{index}", Linear(dims[index], dims[index + 1], rng=rng))
+
+    def forward(self, adjacency: Adjacency, features: Union[np.ndarray, Tensor]) -> Tensor:
+        operator = self._mean_operator(adjacency)
+        hidden = self.as_tensor(features)
+        for index in range(self.num_layers):
+            self_layer: Linear = getattr(self, f"self_{index}")
+            neigh_layer: Linear = getattr(self, f"neigh_{index}")
+            neighbour_mean = propagate(operator, hidden)
+            hidden = self_layer(hidden) + neigh_layer(neighbour_mean)
+            if index < self.num_layers - 1:
+                hidden = F.relu(hidden)
+                hidden = F.dropout(hidden, self.dropout_rate, self._rng, training=self.training)
+        return hidden
+
+    @staticmethod
+    def _mean_operator(adjacency: Adjacency):
+        """Row-normalised adjacency (mean over neighbours)."""
+        if sp.issparse(adjacency):
+            return row_normalize(adjacency)
+        dense = np.asarray(adjacency, dtype=np.float64)
+        sums = dense.sum(axis=1, keepdims=True)
+        sums[sums == 0] = 1.0
+        return dense / sums
+
+
+register_architecture("sage", GraphSAGE)

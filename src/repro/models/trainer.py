@@ -1,0 +1,149 @@
+"""Full-batch training loop with early stopping for node classifiers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd import Adam
+from repro.autograd import functional as F
+from repro.exceptions import ConfigurationError
+from repro.models.base import Adjacency, NodeClassifier
+from repro.utils.logging import get_logger
+
+logger = get_logger("models.trainer")
+
+
+@dataclass
+class TrainingConfig:
+    """Hyperparameters for :class:`Trainer`."""
+
+    epochs: int = 200
+    lr: float = 0.01
+    weight_decay: float = 5e-4
+    patience: int = 30
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0:
+            raise ConfigurationError(f"epochs must be positive, got {self.epochs}")
+        if self.lr <= 0:
+            raise ConfigurationError(f"lr must be positive, got {self.lr}")
+        if self.patience <= 0:
+            raise ConfigurationError(f"patience must be positive, got {self.patience}")
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of a training run."""
+
+    best_epoch: int
+    best_val_accuracy: float
+    final_train_loss: float
+    history: list = field(default_factory=list)
+
+
+class Trainer:
+    """Trains a :class:`NodeClassifier` full-batch with Adam and early stopping.
+
+    The trainer supports the two training regimes the BGC pipeline needs:
+
+    * training on a large (possibly poisoned) original graph with explicit
+      train/val masks, and
+    * training on a small condensed graph where *every* node is a training
+      node and no validation set exists (``val_index=None`` disables early
+      stopping and runs the full epoch budget).
+    """
+
+    def __init__(self, model: NodeClassifier, config: Optional[TrainingConfig] = None) -> None:
+        self.model = model
+        self.config = config or TrainingConfig()
+
+    def fit(
+        self,
+        adjacency: Adjacency,
+        features: np.ndarray,
+        labels: np.ndarray,
+        train_index: np.ndarray,
+        val_index: Optional[np.ndarray] = None,
+        val_adjacency: Optional[Adjacency] = None,
+        val_features: Optional[np.ndarray] = None,
+        val_labels: Optional[np.ndarray] = None,
+    ) -> TrainingResult:
+        """Train the model and restore its best-validation parameters.
+
+        ``val_adjacency`` / ``val_features`` / ``val_labels`` allow validating
+        on a different graph than the training graph (needed when training on
+        a condensed graph but validating on the original graph).
+        """
+        labels = np.asarray(labels, dtype=np.int64)
+        train_index = np.asarray(train_index, dtype=np.int64)
+        optimizer = Adam(
+            self.model.parameters(), lr=self.config.lr, weight_decay=self.config.weight_decay
+        )
+
+        use_validation = val_index is not None and len(val_index) > 0
+        val_graph = val_adjacency if val_adjacency is not None else adjacency
+        val_feats = val_features if val_features is not None else features
+        val_labs = val_labels if val_labels is not None else labels
+
+        best_val = -np.inf
+        best_state = self.model.state_dict()
+        best_epoch = 0
+        epochs_without_improvement = 0
+        history = []
+        final_loss = np.nan
+
+        self.model.train()
+        for epoch in range(self.config.epochs):
+            optimizer.zero_grad()
+            logits = self.model.forward(adjacency, features)
+            loss = F.cross_entropy(logits[train_index], labels[train_index])
+            loss.backward()
+            optimizer.step()
+            final_loss = loss.item()
+
+            if use_validation:
+                val_accuracy = self.evaluate(val_graph, val_feats, val_labs, val_index)
+                history.append({"epoch": epoch, "loss": final_loss, "val_accuracy": val_accuracy})
+                if val_accuracy > best_val:
+                    best_val = val_accuracy
+                    best_state = self.model.state_dict()
+                    best_epoch = epoch
+                    epochs_without_improvement = 0
+                else:
+                    epochs_without_improvement += 1
+                    if epochs_without_improvement >= self.config.patience:
+                        if self.config.verbose:
+                            logger.info("early stopping at epoch %d", epoch)
+                        break
+            else:
+                history.append({"epoch": epoch, "loss": final_loss})
+                best_epoch = epoch
+
+        if use_validation:
+            self.model.load_state_dict(best_state)
+        self.model.eval()
+        return TrainingResult(
+            best_epoch=best_epoch,
+            best_val_accuracy=float(best_val) if use_validation else float("nan"),
+            final_train_loss=float(final_loss),
+            history=history,
+        )
+
+    def evaluate(
+        self,
+        adjacency: Adjacency,
+        features: np.ndarray,
+        labels: np.ndarray,
+        index: np.ndarray,
+    ) -> float:
+        """Accuracy of the current model on ``index`` nodes."""
+        predictions = self.model.predict(adjacency, features)
+        index = np.asarray(index, dtype=np.int64)
+        if index.size == 0:
+            return float("nan")
+        return float(np.mean(predictions[index] == np.asarray(labels)[index]))

@@ -1,0 +1,44 @@
+"""Lightweight logging helpers.
+
+The library never configures the root logger; it only attaches a
+``NullHandler`` so that applications embedding it stay in control of log
+routing.  :func:`get_logger` is the single entry point used by all modules.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_LIBRARY_ROOT = "repro"
+
+logging.getLogger(_LIBRARY_ROOT).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger namespaced under the library root.
+
+    Parameters
+    ----------
+    name:
+        Dotted suffix, e.g. ``"condensation.gcond"``.  Passing a name that
+        already starts with the library root is also accepted.
+    """
+    if name.startswith(_LIBRARY_ROOT):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_LIBRARY_ROOT}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """Attach a console handler to the library root logger.
+
+    Intended for examples and benchmarks; library code never calls this.
+    """
+    logger = logging.getLogger(_LIBRARY_ROOT)
+    has_stream = any(isinstance(h, logging.StreamHandler) for h in logger.handlers)
+    if not has_stream:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        logger.addHandler(handler)
+    logger.setLevel(level)

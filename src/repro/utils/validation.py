@@ -1,0 +1,33 @@
+"""Input-validation helpers shared across configuration objects."""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must lie in [0, 1], got {value!r}")
+    return float(value)
+
+
+def check_ratio(value: float, name: str) -> float:
+    """Validate that ``value`` lies in the half-open interval (0, 1]."""
+    if not 0.0 < value <= 1.0:
+        raise ConfigurationError(f"{name} must lie in (0, 1], got {value!r}")
+    return float(value)
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is a strictly positive integer."""
+    if int(value) != value or value <= 0:
+        raise ConfigurationError(f"{name} must be a positive integer, got {value!r}")
+    return int(value)
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Validate that ``value`` is non-negative."""
+    if value < 0:
+        raise ConfigurationError(f"{name} must be non-negative, got {value!r}")
+    return float(value)

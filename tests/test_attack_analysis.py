@@ -1,0 +1,82 @@
+"""Unit tests for the stealthiness / attack-analysis helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attack.analysis import (
+    class_distribution_shift,
+    condensed_graph_divergence,
+    trigger_statistics,
+)
+from repro.attack.trigger import TriggerConfig, TriggerGenerator
+from repro.condensation.base import CondensedGraph
+from repro.exceptions import AttackError
+
+
+@pytest.fixture
+def clean_condensed(rng):
+    return CondensedGraph(
+        features=rng.normal(size=(9, 5)),
+        labels=np.repeat([0, 1, 2], 3),
+        adjacency=np.eye(9),
+        method="gcond-x",
+    )
+
+
+class TestCondensedGraphDivergence:
+    def test_identical_graphs_have_zero_gaps(self, clean_condensed):
+        divergence = condensed_graph_divergence(clean_condensed, clean_condensed.copy())
+        assert divergence["feature_mean_gap"] == 0.0
+        assert divergence["edge_count_gap"] == 0.0
+        assert divergence["mean_class_prototype_cosine"] == pytest.approx(1.0)
+
+    def test_perturbed_graph_has_positive_gaps(self, clean_condensed):
+        poisoned = clean_condensed.copy()
+        poisoned.features[0] += 5.0
+        divergence = condensed_graph_divergence(clean_condensed, poisoned)
+        assert divergence["feature_mean_gap"] > 0.0
+        assert divergence["mean_class_prototype_cosine"] < 1.0
+
+    def test_dimension_mismatch_rejected(self, clean_condensed, rng):
+        other = CondensedGraph(
+            features=rng.normal(size=(9, 7)),
+            labels=clean_condensed.labels.copy(),
+            adjacency=np.eye(9),
+        )
+        with pytest.raises(AttackError):
+            condensed_graph_divergence(clean_condensed, other)
+
+
+class TestTriggerStatistics:
+    def test_statistics_keys_and_ranges(self, small_graph, rng):
+        generator = TriggerGenerator(
+            small_graph.num_features, rng, TriggerConfig(trigger_size=3, feature_scale=0.1)
+        )
+        generator.calibrate(small_graph.features)
+        stats = trigger_statistics(generator, small_graph, np.array([0, 1, 2]))
+        assert stats["trigger_size"] == 3.0
+        assert 0.0 <= stats["internal_edge_density"] <= 1.0
+        # Calibration keeps triggers within feature_scale of the host range.
+        assert stats["relative_feature_max"] <= 0.11
+        assert stats["added_nodes_per_target"] == 3.0
+
+    def test_empty_node_list_rejected(self, small_graph, rng):
+        generator = TriggerGenerator(small_graph.num_features, rng, TriggerConfig(trigger_size=2))
+        with pytest.raises(AttackError):
+            trigger_statistics(generator, small_graph, np.array([], dtype=int))
+
+
+class TestClassDistributionShift:
+    def test_identical_distributions(self, clean_condensed):
+        shift = class_distribution_shift(clean_condensed, clean_condensed.copy())
+        assert shift["total_variation"] == 0.0
+        assert shift["clean_entropy"] == pytest.approx(shift["poisoned_entropy"])
+
+    def test_shifted_distribution_detected(self, clean_condensed):
+        poisoned = clean_condensed.copy()
+        poisoned.labels[:] = 0
+        shift = class_distribution_shift(clean_condensed, poisoned)
+        assert shift["total_variation"] > 0.5
+        assert shift["poisoned_entropy"] == 0.0

@@ -1,0 +1,144 @@
+"""Unit tests for the baseline attacks: Naive Poison, GTA and DOORPING."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attack import GTAAttack, DoorpingAttack, NaivePoison
+from repro.attack.baselines.doorping import DoorpingConfig
+from repro.attack.baselines.gta import GTAConfig
+from repro.attack.naive import NaivePoisonConfig
+from repro.attack.trigger import TriggerConfig
+from repro.attack.selection import SelectionConfig
+from repro.condensation import CondensationConfig, make_condenser
+from repro.exceptions import AttackError
+from repro.utils.seed import new_rng
+
+
+def fast_condenser():
+    return make_condenser("gcond-x", CondensationConfig(epochs=3, ratio=0.3))
+
+
+FAST_TRIGGER = TriggerConfig(trigger_size=2, hidden=16)
+FAST_SELECTION = SelectionConfig(num_clusters=2, selector_epochs=15)
+
+
+class TestNaivePoison:
+    def test_poisons_condensed_graph(self, small_graph, rng):
+        attack = NaivePoison(NaivePoisonConfig(target_class=0, poison_fraction=0.3))
+        poisoned, pattern = attack.run(small_graph, fast_condenser(), rng)
+        assert "naive-poison" in poisoned.method
+        assert pattern.shape == (small_graph.num_features,)
+        assert np.any(poisoned.labels == 0)
+
+    def test_poisoned_graph_differs_from_clean(self, small_graph):
+        condenser = fast_condenser()
+        clean = condenser.condense(small_graph, new_rng(3))
+        attack = NaivePoison(NaivePoisonConfig(poison_fraction=0.3))
+        poisoned, _ = attack.run(small_graph, fast_condenser(), new_rng(3))
+        assert not np.allclose(clean.features, poisoned.features)
+
+    def test_attach_universal_trigger(self, small_graph):
+        pattern = np.zeros(small_graph.num_features)
+        pattern[0] = 1.0
+        triggered = NaivePoison.attach_universal_trigger(
+            small_graph, small_graph.split.test[:5], pattern, mix=1.0
+        )
+        np.testing.assert_allclose(
+            triggered.features[small_graph.split.test[0]], pattern
+        )
+        # Other nodes untouched.
+        untouched = np.setdiff1d(np.arange(small_graph.num_nodes), small_graph.split.test[:5])
+        np.testing.assert_allclose(
+            triggered.features[untouched], small_graph.features[untouched]
+        )
+
+    def test_invalid_config(self):
+        with pytest.raises(AttackError):
+            NaivePoisonConfig(num_trigger_nodes=0)
+        with pytest.raises(AttackError):
+            NaivePoisonConfig(poison_fraction=0.0)
+
+
+class TestGTA:
+    def test_run_produces_condensed_graph_and_generator(self, small_graph, rng):
+        attack = GTAAttack(
+            GTAConfig(
+                poison_ratio=0.3,
+                generator_epochs=3,
+                update_batch_size=4,
+                surrogate_steps=20,
+                trigger=FAST_TRIGGER,
+                selection=FAST_SELECTION,
+            )
+        )
+        result = attack.run(small_graph, fast_condenser(), rng)
+        assert result.condensed.num_nodes >= small_graph.num_classes
+        assert result.poisoned_nodes.size >= 1
+        # The generator must be usable by the evaluation pipeline.
+        from repro.attack.trigger import generate_hard_triggers
+
+        features, adjacency = generate_hard_triggers(
+            result.generator, small_graph.adjacency, small_graph.features, np.array([0, 1])
+        )
+        assert features.shape[0] == 2
+
+    def test_invalid_config(self):
+        with pytest.raises(AttackError):
+            GTAConfig(poison_ratio=None, poison_number=None)
+        with pytest.raises(AttackError):
+            GTAConfig(generator_epochs=0)
+
+
+class TestDoorping:
+    def test_run_produces_universal_trigger(self, small_graph, rng):
+        attack = DoorpingAttack(
+            DoorpingConfig(
+                poison_ratio=0.3,
+                epochs=3,
+                trigger_steps=1,
+                update_batch_size=4,
+                surrogate_steps=10,
+                trigger=FAST_TRIGGER,
+                selection=FAST_SELECTION,
+            )
+        )
+        result = attack.run(small_graph, fast_condenser(), rng)
+        assert result.condensed.num_nodes >= small_graph.num_classes
+        assert len(result.history) == 3
+        # Universal: the same trigger for every node.
+        from repro.attack.trigger import generate_hard_triggers
+
+        features, _ = generate_hard_triggers(
+            result.generator, small_graph.adjacency, small_graph.features, np.array([0, 5])
+        )
+        np.testing.assert_allclose(features[0], features[1])
+
+    def test_trigger_is_updated_during_condensation(self, small_graph, rng):
+        config = DoorpingConfig(
+            poison_ratio=0.3,
+            epochs=3,
+            trigger_steps=1,
+            update_batch_size=4,
+            surrogate_steps=10,
+            trigger=FAST_TRIGGER,
+            selection=FAST_SELECTION,
+        )
+        attack = DoorpingAttack(config)
+        initial_seed_generator = new_rng(42)
+        from repro.attack.trigger import UniversalTriggerGenerator
+
+        untouched = UniversalTriggerGenerator(
+            small_graph.num_features, initial_seed_generator, FAST_TRIGGER
+        )
+        result = attack.run(small_graph, fast_condenser(), new_rng(42))
+        assert not np.allclose(
+            result.generator.trigger_features.data, untouched.trigger_features.data
+        )
+
+    def test_invalid_config(self):
+        with pytest.raises(AttackError):
+            DoorpingConfig(poison_ratio=None, poison_number=None)
+        with pytest.raises(AttackError):
+            DoorpingConfig(epochs=0)

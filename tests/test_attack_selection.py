@@ -1,0 +1,114 @@
+"""Unit tests for poisoned-node selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attack.selection import (
+    RandomNodeSelector,
+    RepresentativeNodeSelector,
+    SelectionConfig,
+)
+from repro.exceptions import AttackError
+from repro.utils.seed import new_rng
+
+
+class TestSelectionConfig:
+    def test_defaults_valid(self):
+        SelectionConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"num_clusters": 0}, {"degree_balance": -0.1}, {"selector_epochs": 0}],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(AttackError):
+            SelectionConfig(**kwargs)
+
+
+class TestRepresentativeSelector:
+    @pytest.fixture
+    def selector(self):
+        return RepresentativeNodeSelector(
+            SelectionConfig(num_clusters=2, selector_epochs=20)
+        )
+
+    def test_budget_respected(self, selector, small_graph, rng):
+        selected = selector.select(small_graph, budget=6, target_class=0, rng=rng)
+        assert 1 <= selected.size <= 6
+
+    def test_selected_nodes_are_valid_candidates(self, selector, small_graph, rng):
+        selected = selector.select(small_graph, budget=6, target_class=0, rng=rng)
+        blocked = set(small_graph.split.val.tolist()) | set(small_graph.split.test.tolist())
+        assert not (set(selected.tolist()) & blocked)
+
+    def test_target_class_excluded(self, selector, small_graph, rng):
+        selected = selector.select(small_graph, budget=6, target_class=0, rng=rng)
+        assert np.all(small_graph.labels[selected] != 0)
+
+    def test_target_class_kept_when_not_excluded(self, small_graph, rng):
+        selector = RepresentativeNodeSelector(
+            SelectionConfig(num_clusters=2, selector_epochs=10, exclude_target_class=False)
+        )
+        selected = selector.select(small_graph, budget=9, target_class=0, rng=rng)
+        assert selected.size >= 1
+
+    def test_candidate_restriction(self, selector, small_graph, rng):
+        candidates = np.flatnonzero(small_graph.labels == 1)
+        selected = selector.select(
+            small_graph, budget=4, target_class=0, rng=rng, candidates=candidates
+        )
+        assert set(selected.tolist()) <= set(candidates.tolist())
+
+    def test_zero_budget_rejected(self, selector, small_graph, rng):
+        with pytest.raises(AttackError):
+            selector.select(small_graph, budget=0, target_class=0, rng=rng)
+
+    def test_no_duplicates(self, selector, small_graph, rng):
+        selected = selector.select(small_graph, budget=10, target_class=0, rng=rng)
+        assert selected.size == np.unique(selected).size
+
+    def test_prefers_moderate_degree_with_large_balance(self, small_graph):
+        """A huge degree penalty should steer selection away from hubs."""
+        degrees = small_graph.degrees()
+        heavy = RepresentativeNodeSelector(
+            SelectionConfig(num_clusters=2, selector_epochs=10, degree_balance=100.0)
+        ).select(small_graph, budget=4, target_class=0, rng=new_rng(0))
+        none_penalty = RepresentativeNodeSelector(
+            SelectionConfig(num_clusters=2, selector_epochs=10, degree_balance=0.0)
+        ).select(small_graph, budget=4, target_class=0, rng=new_rng(0))
+        assert degrees[heavy].mean() <= degrees[none_penalty].mean() + 1e-9
+
+
+class TestRandomSelector:
+    def test_budget_respected(self, small_graph, rng):
+        selected = RandomNodeSelector().select(small_graph, budget=5, target_class=0, rng=rng)
+        assert selected.size == 5
+
+    def test_excludes_target_class_by_default(self, small_graph, rng):
+        selected = RandomNodeSelector().select(small_graph, budget=8, target_class=1, rng=rng)
+        assert np.all(small_graph.labels[selected] != 1)
+
+    def test_excludes_val_and_test(self, small_graph, rng):
+        selected = RandomNodeSelector().select(small_graph, budget=10, target_class=0, rng=rng)
+        blocked = set(small_graph.split.val.tolist()) | set(small_graph.split.test.tolist())
+        assert not (set(selected.tolist()) & blocked)
+
+    def test_budget_larger_than_pool_is_capped(self, tiny_graph, rng):
+        selected = RandomNodeSelector().select(tiny_graph, budget=100, target_class=0, rng=rng)
+        assert selected.size <= tiny_graph.num_nodes
+
+    def test_invalid_budget(self, small_graph, rng):
+        with pytest.raises(AttackError):
+            RandomNodeSelector().select(small_graph, budget=0, target_class=0, rng=rng)
+
+    def test_different_from_representative(self, small_graph):
+        """Random and representative selection should usually differ."""
+        random_nodes = RandomNodeSelector().select(
+            small_graph, budget=6, target_class=0, rng=new_rng(1)
+        )
+        representative = RepresentativeNodeSelector(
+            SelectionConfig(num_clusters=2, selector_epochs=10)
+        ).select(small_graph, budget=6, target_class=0, rng=new_rng(1))
+        assert set(random_nodes.tolist()) != set(representative.tolist())

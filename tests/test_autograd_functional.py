@@ -1,0 +1,170 @@
+"""Unit tests for the differentiable functional building blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd import functional as F
+from repro.exceptions import AutogradError
+from repro.utils.seed import new_rng
+
+from conftest import numerical_gradient
+
+
+class TestSoftmaxFamily:
+    def test_log_softmax_rows_sum_to_one_in_prob_space(self, rng):
+        logits = Tensor(rng.normal(size=(5, 4)))
+        probs = np.exp(F.log_softmax(logits).data)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5), rtol=1e-12)
+
+    def test_log_softmax_is_shift_invariant(self, rng):
+        x = rng.normal(size=(3, 4))
+        a = F.log_softmax(Tensor(x)).data
+        b = F.log_softmax(Tensor(x + 100.0)).data
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+    def test_log_softmax_handles_large_values(self):
+        x = Tensor(np.array([[1e4, 0.0, -1e4]]))
+        out = F.log_softmax(x).data
+        assert np.all(np.isfinite(out))
+
+    def test_log_softmax_gradient(self, rng):
+        array = rng.normal(size=(4, 3))
+        weights = rng.normal(size=(4, 3))
+
+        def loss_fn(a):
+            return (F.log_softmax(Tensor(a)) * weights).sum().item() if not isinstance(a, Tensor) else (F.log_softmax(a) * weights).sum()
+
+        t = Tensor(array.copy(), requires_grad=True)
+        loss_fn(t).backward()
+        numeric = numerical_gradient(lambda a: loss_fn(a), array.copy())
+        np.testing.assert_allclose(t.grad, numeric, rtol=1e-5, atol=1e-7)
+
+    def test_softmax_matches_numpy(self, rng):
+        x = rng.normal(size=(3, 5))
+        expected = np.exp(x) / np.exp(x).sum(axis=1, keepdims=True)
+        np.testing.assert_allclose(F.softmax(Tensor(x)).data, expected, rtol=1e-10)
+
+
+class TestOneHot:
+    def test_one_hot_values(self):
+        encoding = F.one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_allclose(encoding, np.array([[1, 0, 0], [0, 0, 1], [0, 1, 0]], dtype=float))
+
+    def test_one_hot_rejects_out_of_range(self):
+        with pytest.raises(AutogradError):
+            F.one_hot(np.array([0, 3]), 3)
+
+    def test_one_hot_rejects_2d(self):
+        with pytest.raises(AutogradError):
+            F.one_hot(np.zeros((2, 2), dtype=int), 3)
+
+    def test_one_hot_empty(self):
+        assert F.one_hot(np.array([], dtype=int), 4).shape == (0, 4)
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_has_low_loss(self):
+        logits = Tensor(np.array([[10.0, -10.0], [-10.0, 10.0]]))
+        loss = F.cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() < 1e-6
+
+    def test_uniform_prediction_is_log_num_classes(self):
+        logits = Tensor(np.zeros((4, 5)))
+        loss = F.cross_entropy(logits, np.array([0, 1, 2, 3]))
+        assert loss.item() == pytest.approx(np.log(5), rel=1e-9)
+
+    def test_gradient_matches_probs_minus_targets(self, rng):
+        array = rng.normal(size=(6, 4))
+        labels = rng.integers(0, 4, size=6)
+        t = Tensor(array.copy(), requires_grad=True)
+        F.cross_entropy(t, labels).backward()
+        probs = np.exp(array) / np.exp(array).sum(axis=1, keepdims=True)
+        targets = F.one_hot(labels, 4)
+        np.testing.assert_allclose(t.grad, (probs - targets) / 6.0, rtol=1e-8)
+
+    def test_mismatched_labels_raise(self):
+        with pytest.raises(AutogradError):
+            F.cross_entropy(Tensor(np.zeros((3, 2))), np.array([0, 1]))
+
+    def test_weighted_cross_entropy_prefers_weighted_examples(self):
+        logits = Tensor(np.array([[2.0, 0.0], [0.0, 2.0]]))
+        labels = np.array([1, 1])  # first example is wrong, second is right
+        loss_uniform = F.cross_entropy(logits, labels)
+        loss_weighted = F.cross_entropy(logits, labels, weights=np.array([0.0, 1.0]))
+        assert loss_weighted.item() < loss_uniform.item()
+
+    def test_negative_weight_sum_raises(self):
+        with pytest.raises(AutogradError):
+            F.cross_entropy(Tensor(np.zeros((2, 2))), np.array([0, 1]), weights=np.array([0.0, 0.0]))
+
+
+class TestMSEAndNorm:
+    def test_mse_zero_for_equal(self):
+        pred = Tensor(np.ones((3, 2)))
+        assert F.mse_loss(pred, np.ones((3, 2))).item() == 0.0
+
+    def test_mse_value(self):
+        pred = Tensor(np.zeros((2, 2)))
+        assert F.mse_loss(pred, np.ones((2, 2))).item() == pytest.approx(1.0)
+
+    def test_l2_norm_squared(self):
+        x = Tensor(np.array([[3.0, 4.0]]))
+        assert F.l2_norm_squared(x).item() == pytest.approx(25.0)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        x = Tensor(rng.normal(size=(10, 10)))
+        out = F.dropout(x, 0.5, rng, training=False)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_zero_rate_is_identity(self, rng):
+        x = Tensor(rng.normal(size=(10, 10)))
+        out = F.dropout(x, 0.0, rng, training=True)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_training_mode_zeroes_roughly_rate_fraction(self):
+        generator = new_rng(0)
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, 0.5, generator, training=True)
+        zero_fraction = float(np.mean(out.data == 0.0))
+        assert 0.45 < zero_fraction < 0.55
+
+    def test_scaling_preserves_expectation(self):
+        generator = new_rng(1)
+        x = Tensor(np.ones((300, 300)))
+        out = F.dropout(x, 0.3, generator, training=True)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_invalid_rate_raises(self, rng):
+        with pytest.raises(AutogradError):
+            F.dropout(Tensor(np.ones(3)), 1.0, rng)
+
+
+class TestStraightThrough:
+    def test_forward_binarizes(self):
+        x = Tensor(np.array([[0.2, 0.8], [0.51, 0.49]]), requires_grad=True)
+        out = F.straight_through_binarize(x)
+        np.testing.assert_allclose(out.data, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_backward_is_identity(self):
+        x = Tensor(np.array([[0.2, 0.8]]), requires_grad=True)
+        F.straight_through_binarize(x).sum().backward()
+        np.testing.assert_allclose(x.grad, [[1.0, 1.0]])
+
+    def test_custom_threshold(self):
+        x = Tensor(np.array([0.3, 0.6]))
+        out = F.straight_through_binarize(x, threshold=0.25)
+        np.testing.assert_allclose(out.data, [1.0, 1.0])
+
+
+class TestSpmm:
+    def test_spmm_alias(self, rng):
+        import scipy.sparse as sp
+
+        matrix = sp.eye(4, format="csr")
+        x = Tensor(rng.normal(size=(4, 2)))
+        np.testing.assert_allclose(F.spmm(matrix, x).data, x.data)

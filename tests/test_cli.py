@@ -1,0 +1,102 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_datasets_subcommand(self):
+        args = build_parser().parse_args(["datasets"])
+        assert args.command == "datasets"
+
+    def test_condense_defaults(self):
+        args = build_parser().parse_args(["condense"])
+        assert args.dataset == "cora"
+        assert args.method == "gcond"
+        assert args.ratio == pytest.approx(0.026)
+
+    def test_attack_arguments(self):
+        args = build_parser().parse_args(
+            [
+                "attack",
+                "--dataset",
+                "citeseer",
+                "--method",
+                "dc-graph",
+                "--poison-number",
+                "12",
+                "--trigger-size",
+                "2",
+                "--random-selection",
+            ]
+        )
+        assert args.dataset == "citeseer"
+        assert args.poison_number == 12
+        assert args.random_selection
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["condense", "--dataset", "ogbn-products"])
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["condense", "--method", "doscond"])
+
+
+class TestCommands:
+    def test_datasets_command_prints_table(self, capsys):
+        exit_code = main(["datasets"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "cora" in captured.out
+        assert "reddit" in captured.out
+
+    def test_condense_command_smoke(self, capsys):
+        exit_code = main(
+            [
+                "condense",
+                "--dataset",
+                "cora",
+                "--method",
+                "gcond-x",
+                "--ratio",
+                "0.013",
+                "--epochs",
+                "2",
+                "--eval-epochs",
+                "5",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "C-CTA %" in captured.out
+
+    def test_attack_command_smoke(self, capsys):
+        exit_code = main(
+            [
+                "attack",
+                "--dataset",
+                "cora",
+                "--method",
+                "gcond-x",
+                "--ratio",
+                "0.013",
+                "--epochs",
+                "2",
+                "--eval-epochs",
+                "5",
+                "--trigger-size",
+                "2",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "ASR %" in captured.out
+        assert "poisoned nodes" in captured.out

@@ -1,0 +1,132 @@
+"""Unit tests for the synthetic benchmark datasets and the registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import dataset_statistics, list_datasets, load_dataset, statistics_table
+from repro.datasets.base import DatasetSpec, get_spec, register_dataset
+from repro.datasets.statistics import edge_homophily
+from repro.exceptions import DatasetError
+
+
+class TestRegistry:
+    def test_all_four_paper_datasets_registered(self):
+        names = list_datasets()
+        for expected in ("cora", "citeseer", "flickr", "reddit"):
+            assert expected in names
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(DatasetError):
+            load_dataset("ogbn-arxiv")
+
+    def test_get_spec_unknown_raises(self):
+        with pytest.raises(DatasetError):
+            get_spec("nope")
+
+    def test_duplicate_registration_rejected(self):
+        spec = get_spec("cora")
+        with pytest.raises(DatasetError):
+            register_dataset(spec, lambda s, seed: None)
+
+    def test_case_insensitive_lookup(self):
+        graph = load_dataset("CORA", seed=0)
+        assert graph.name == "cora"
+
+
+class TestTransductiveDatasets:
+    @pytest.mark.parametrize("name,classes,features", [("cora", 7, 1433), ("citeseer", 6, 1200)])
+    def test_spec_matches_paper_statistics(self, name, classes, features):
+        graph = load_dataset(name, seed=0)
+        assert graph.num_classes == classes
+        assert graph.num_features == features
+        assert not graph.inductive
+
+    def test_cora_planetoid_split_sizes(self):
+        graph = load_dataset("cora", seed=0)
+        assert graph.split.train.size == 140  # 20 per class x 7 classes
+        assert graph.split.val.size == 500
+        assert graph.split.test.size == 1000
+
+    def test_citeseer_split_sizes(self):
+        graph = load_dataset("citeseer", seed=0)
+        assert graph.split.train.size == 120
+        assert graph.split.test.size == 1000
+
+    def test_splits_are_disjoint(self):
+        graph = load_dataset("cora", seed=1)
+        graph.split.validate_disjoint()
+
+    def test_homophily_is_high(self):
+        graph = load_dataset("cora", seed=0)
+        assert edge_homophily(graph) > 0.6
+
+
+class TestInductiveDatasets:
+    @pytest.mark.parametrize("name", ["flickr", "reddit"])
+    def test_inductive_flag(self, name):
+        graph = load_dataset(name, seed=0)
+        assert graph.inductive
+
+    def test_training_view_smaller_than_graph(self):
+        graph = load_dataset("flickr", seed=0)
+        view = graph.training_view()
+        assert view.num_nodes == graph.split.train.size
+        assert view.num_nodes < graph.num_nodes
+
+    def test_reddit_has_more_classes_than_flickr(self):
+        flickr = load_dataset("flickr", seed=0)
+        reddit = load_dataset("reddit", seed=0)
+        assert reddit.num_classes > flickr.num_classes
+        assert reddit.num_nodes > flickr.num_nodes
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["cora", "flickr"])
+    def test_same_seed_same_graph(self, name):
+        a = load_dataset(name, seed=3)
+        b = load_dataset(name, seed=3)
+        assert (a.adjacency != b.adjacency).nnz == 0
+        np.testing.assert_allclose(a.features, b.features)
+        np.testing.assert_array_equal(a.split.train, b.split.train)
+
+    def test_different_seed_different_graph(self):
+        a = load_dataset("cora", seed=0)
+        b = load_dataset("cora", seed=1)
+        assert (a.adjacency != b.adjacency).nnz > 0
+
+    def test_different_datasets_differ_at_same_seed(self):
+        cora = load_dataset("cora", seed=0)
+        citeseer = load_dataset("citeseer", seed=0)
+        assert cora.num_nodes != citeseer.num_nodes
+
+
+class TestStatistics:
+    def test_dataset_statistics_keys(self):
+        graph = load_dataset("cora", seed=0)
+        stats = dataset_statistics(graph)
+        for key in ("nodes", "edges", "classes", "features", "avg_degree", "homophily"):
+            assert key in stats
+
+    def test_statistics_table_covers_requested(self):
+        rows = statistics_table(["cora", "citeseer"], seed=0)
+        assert len(rows) == 2
+        assert rows[0]["name"] == "cora"
+
+    def test_homophily_of_empty_graph_is_zero(self, tiny_graph):
+        import scipy.sparse as sp
+
+        empty = tiny_graph.with_(adjacency=sp.csr_matrix((6, 6)))
+        assert edge_homophily(empty) == 0.0
+
+
+class TestDatasetSpec:
+    def test_spec_is_frozen(self):
+        spec = get_spec("cora")
+        with pytest.raises(Exception):
+            spec.name = "other"  # type: ignore[misc]
+
+    def test_spec_records_reference_size(self):
+        assert get_spec("reddit").reference_nodes == 232965
+        assert get_spec("flickr").reference_nodes == 89250

@@ -1,0 +1,130 @@
+"""Unit tests for the Prune and Randsmooth defenses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.condensation.base import CondensedGraph
+from repro.defenses import (
+    PruneConfig,
+    PruneDefense,
+    RandSmoothConfig,
+    RandSmoothDefense,
+    SmoothedModel,
+)
+from repro.exceptions import DefenseError
+from repro.models import MLP, GCN
+from repro.utils.seed import new_rng
+
+
+@pytest.fixture
+def condensed_with_structure(rng):
+    features = rng.normal(size=(8, 5))
+    labels = rng.integers(0, 2, size=8)
+    adjacency = np.zeros((8, 8))
+    for i in range(7):
+        adjacency[i, i + 1] = adjacency[i + 1, i] = 1.0
+    return CondensedGraph(features=features, labels=labels, adjacency=adjacency, method="gcond")
+
+
+class TestPruneConfig:
+    def test_default_valid(self):
+        assert PruneConfig().prune_fraction == 0.2
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(DefenseError):
+            PruneConfig(prune_fraction=1.0)
+        with pytest.raises(DefenseError):
+            PruneConfig(prune_fraction=-0.1)
+
+
+class TestPruneDefense:
+    def test_removes_edges_from_condensed(self, condensed_with_structure):
+        defense = PruneDefense(PruneConfig(prune_fraction=0.5))
+        pruned = defense.apply_to_condensed(condensed_with_structure)
+        assert (pruned.adjacency > 0).sum() < (condensed_with_structure.adjacency > 0).sum()
+        assert pruned.metadata["pruned_edges"] >= 1
+
+    def test_keeps_symmetry(self, condensed_with_structure):
+        pruned = PruneDefense(PruneConfig(prune_fraction=0.4)).apply_to_condensed(
+            condensed_with_structure
+        )
+        np.testing.assert_allclose(pruned.adjacency, pruned.adjacency.T)
+
+    def test_does_not_mutate_input(self, condensed_with_structure):
+        original = condensed_with_structure.adjacency.copy()
+        PruneDefense(PruneConfig(prune_fraction=0.5)).apply_to_condensed(condensed_with_structure)
+        np.testing.assert_allclose(condensed_with_structure.adjacency, original)
+
+    def test_edgeless_graph_is_noop(self, rng):
+        condensed = CondensedGraph(
+            features=rng.normal(size=(4, 3)), labels=np.zeros(4, dtype=int), adjacency=np.eye(4) * 0
+        )
+        pruned = PruneDefense().apply_to_condensed(condensed)
+        assert (pruned.adjacency > 0).sum() == 0
+
+    def test_prunes_dissimilar_edges_first(self):
+        # Two similar nodes (0, 1) and one outlier (2) connected to both.
+        features = np.array([[1.0, 0.0], [0.99, 0.01], [-1.0, 5.0]])
+        adjacency = np.array(
+            [[0.0, 1.0, 1.0], [1.0, 0.0, 1.0], [1.0, 1.0, 0.0]]
+        )
+        condensed = CondensedGraph(
+            features=features, labels=np.array([0, 0, 1]), adjacency=adjacency
+        )
+        pruned = PruneDefense(PruneConfig(prune_fraction=0.5)).apply_to_condensed(condensed)
+        # The similar pair's edge must survive; at least one outlier edge is gone.
+        assert pruned.adjacency[0, 1] > 0
+        assert pruned.adjacency[0, 2] == 0 or pruned.adjacency[1, 2] == 0
+
+    def test_apply_to_sparse_graph(self, small_graph):
+        defense = PruneDefense(PruneConfig(prune_fraction=0.3))
+        pruned = defense.apply_to_graph(small_graph)
+        assert pruned.num_edges < small_graph.num_edges
+        assert (pruned.adjacency != pruned.adjacency.T).nnz == 0
+
+
+class TestRandSmooth:
+    def test_invalid_config(self):
+        with pytest.raises(DefenseError):
+            RandSmoothConfig(num_samples=0)
+        with pytest.raises(DefenseError):
+            RandSmoothConfig(keep_probability=0.0)
+
+    def test_smoothed_predictions_are_valid_labels(self, small_graph, rng):
+        model = GCN(small_graph.num_features, small_graph.num_classes, rng=rng, hidden=8)
+        smoothed = RandSmoothDefense(RandSmoothConfig(num_samples=3)).wrap(model)
+        predictions = smoothed.predict(small_graph.adjacency, small_graph.features)
+        assert predictions.shape == (small_graph.num_nodes,)
+        assert predictions.max() < small_graph.num_classes
+
+    def test_keep_probability_one_matches_base_model_for_mlp(self, small_graph, rng):
+        model = MLP(small_graph.num_features, small_graph.num_classes, rng=rng, hidden=8)
+        model.eval()
+        smoothed = SmoothedModel(model, RandSmoothConfig(num_samples=3, keep_probability=1.0))
+        base = model.predict(small_graph.adjacency, small_graph.features)
+        np.testing.assert_array_equal(
+            smoothed.predict(small_graph.adjacency, small_graph.features), base
+        )
+
+    def test_subsample_sparse_removes_edges(self, small_graph):
+        smoothed = SmoothedModel(object(), RandSmoothConfig(keep_probability=0.5))
+        sampled = smoothed._subsample(small_graph.adjacency, new_rng(0))
+        assert sampled.nnz < small_graph.adjacency.nnz
+        assert (sampled != sampled.T).nnz == 0
+
+    def test_subsample_dense_removes_edges(self):
+        adjacency = 1.0 - np.eye(10)
+        smoothed = SmoothedModel(object(), RandSmoothConfig(keep_probability=0.3))
+        sampled = smoothed._subsample(adjacency, new_rng(0))
+        assert sampled.sum() < adjacency.sum()
+        np.testing.assert_allclose(sampled, sampled.T)
+
+    def test_deterministic_given_seed(self, small_graph, rng):
+        model = GCN(small_graph.num_features, small_graph.num_classes, rng=rng, hidden=8)
+        config = RandSmoothConfig(num_samples=3, seed=5)
+        a = SmoothedModel(model, config).predict(small_graph.adjacency, small_graph.features)
+        b = SmoothedModel(model, config).predict(small_graph.adjacency, small_graph.features)
+        np.testing.assert_array_equal(a, b)

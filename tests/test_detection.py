@@ -1,0 +1,119 @@
+"""Unit tests for the detection-based defenses (extension module)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.condensation.base import CondensedGraph
+from repro.defenses.detection import (
+    DetectionReport,
+    FeatureOutlierDetector,
+    SpectralSignatureDetector,
+    detection_summary,
+    remove_flagged_nodes,
+)
+from repro.exceptions import DefenseError
+from repro.utils.seed import new_rng
+
+
+@pytest.fixture
+def condensed_with_outlier(rng):
+    """A condensed graph where node 0 of class 0 is a blatant feature outlier."""
+    features = rng.normal(size=(12, 6)) * 0.1
+    labels = np.array([0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2])
+    features[0] = 10.0  # the planted anomaly
+    return CondensedGraph(
+        features=features, labels=labels, adjacency=np.eye(12), method="gcond-x"
+    )
+
+
+class TestFeatureOutlierDetector:
+    def test_invalid_contamination(self):
+        with pytest.raises(DefenseError):
+            FeatureOutlierDetector(contamination=0.0)
+        with pytest.raises(DefenseError):
+            FeatureOutlierDetector(contamination=1.0)
+
+    def test_flags_planted_outlier(self, condensed_with_outlier):
+        report = FeatureOutlierDetector(contamination=0.1).detect(condensed_with_outlier)
+        assert 0 in report.flagged_indices()
+
+    def test_flagged_count_respects_contamination(self, condensed_with_outlier):
+        report = FeatureOutlierDetector(contamination=0.25).detect(condensed_with_outlier)
+        assert report.num_flagged == 3
+
+    def test_scores_shape(self, condensed_with_outlier):
+        scores = FeatureOutlierDetector().score(condensed_with_outlier)
+        assert scores.shape == (12,)
+
+    def test_homogeneous_class_gets_zero_scores(self, rng):
+        features = np.ones((6, 4))
+        condensed = CondensedGraph(
+            features=features, labels=np.zeros(6, dtype=int), adjacency=np.eye(6)
+        )
+        scores = FeatureOutlierDetector().score(condensed)
+        np.testing.assert_allclose(scores, 0.0)
+
+
+class TestSpectralSignatureDetector:
+    def test_flags_planted_outlier(self, condensed_with_outlier):
+        report = SpectralSignatureDetector(contamination=0.1).detect(condensed_with_outlier)
+        assert 0 in report.flagged_indices()
+
+    def test_scores_are_non_negative(self, condensed_with_outlier):
+        scores = SpectralSignatureDetector().score(condensed_with_outlier)
+        assert np.all(scores >= 0.0)
+
+    def test_single_member_class_is_skipped(self, rng):
+        condensed = CondensedGraph(
+            features=rng.normal(size=(3, 4)),
+            labels=np.array([0, 1, 2]),
+            adjacency=np.eye(3),
+        )
+        scores = SpectralSignatureDetector().score(condensed)
+        np.testing.assert_allclose(scores, 0.0)
+
+    def test_invalid_contamination(self):
+        with pytest.raises(DefenseError):
+            SpectralSignatureDetector(contamination=2.0)
+
+
+class TestRemoveFlaggedNodes:
+    def test_removes_flagged(self, condensed_with_outlier):
+        report = FeatureOutlierDetector(contamination=0.25).detect(condensed_with_outlier)
+        cleaned = remove_flagged_nodes(condensed_with_outlier, report)
+        assert cleaned.num_nodes == condensed_with_outlier.num_nodes - report.num_flagged
+        assert "detection" in cleaned.method
+
+    def test_never_empties_a_class(self, rng):
+        condensed = CondensedGraph(
+            features=rng.normal(size=(4, 3)),
+            labels=np.array([0, 0, 1, 1]),
+            adjacency=np.eye(4),
+        )
+        report = DetectionReport(
+            scores=np.array([1.0, 2.0, 3.0, 4.0]),
+            flagged=np.array([False, False, True, True]),
+            contamination=0.5,
+        )
+        cleaned = remove_flagged_nodes(condensed, report)
+        assert set(np.unique(cleaned.labels)) == {0, 1}
+
+    def test_adjacency_submatrix_taken(self, condensed_with_outlier):
+        condensed_with_outlier.adjacency[1, 2] = condensed_with_outlier.adjacency[2, 1] = 1.0
+        report = FeatureOutlierDetector(contamination=0.1).detect(condensed_with_outlier)
+        cleaned = remove_flagged_nodes(condensed_with_outlier, report)
+        assert cleaned.adjacency.shape == (cleaned.num_nodes, cleaned.num_nodes)
+
+
+class TestDetectionSummary:
+    def test_summary_keys(self, condensed_with_outlier):
+        reports = {
+            "outlier": FeatureOutlierDetector().detect(condensed_with_outlier),
+            "spectral": SpectralSignatureDetector().detect(condensed_with_outlier),
+        }
+        summary = detection_summary(condensed_with_outlier, reports)
+        assert summary["condensed_nodes"] == 12.0
+        assert "outlier_flagged" in summary
+        assert "spectral_max_score" in summary

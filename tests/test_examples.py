@@ -1,0 +1,79 @@
+"""Smoke tests for the example scripts.
+
+Full example runs take tens of seconds, so these tests only exercise the
+pieces that can fail silently: importability, the synthetic-scenario builders
+and the argument handling — plus one miniature end-to-end pass of the
+fraud-detection scenario with tiny budgets.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    """Import an example script as a module without executing ``main()``."""
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(name.removesuffix(".py"), path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+ALL_EXAMPLES = [
+    "quickstart.py",
+    "condensation_service_audit.py",
+    "fraud_detection_poisoning.py",
+    "condensation_methods_comparison.py",
+]
+
+
+class TestExampleModules:
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_example_imports_and_defines_main(self, name):
+        module = load_example(name)
+        assert callable(module.main)
+
+    def test_examples_have_module_docstrings(self):
+        for name in ALL_EXAMPLES:
+            module = load_example(name)
+            assert module.__doc__ and "Run with" in module.__doc__
+
+
+class TestFraudScenarioBuilder:
+    def test_transaction_graph_properties(self):
+        module = load_example("fraud_detection_poisoning.py")
+        graph = module.build_transaction_graph(seed=3)
+        assert graph.num_nodes == 2000
+        assert graph.num_classes == 4
+        assert graph.inductive
+        # Fraud-ring accounts exist and form the smallest class.
+        counts = np.bincount(graph.labels)
+        assert counts[module.FRAUD_RING] == counts.min()
+
+    def test_transaction_graph_deterministic(self):
+        module = load_example("fraud_detection_poisoning.py")
+        a = module.build_transaction_graph(seed=5)
+        b = module.build_transaction_graph(seed=5)
+        np.testing.assert_allclose(a.features, b.features)
+
+    def test_class_names_cover_all_classes(self):
+        module = load_example("fraud_detection_poisoning.py")
+        graph = module.build_transaction_graph(seed=1)
+        assert set(module.CLASS_NAMES) == set(range(graph.num_classes))
+
+
+class TestComparisonExampleArguments:
+    def test_unknown_dataset_exits(self, monkeypatch):
+        module = load_example("condensation_methods_comparison.py")
+        monkeypatch.setattr(sys, "argv", ["prog", "not-a-dataset"])
+        with pytest.raises(SystemExit):
+            module.main()

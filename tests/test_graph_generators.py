@@ -1,0 +1,129 @@
+"""Unit and property-based tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import DatasetError
+from repro.graph.generators import (
+    class_correlated_features,
+    degree_corrected_sbm,
+    stochastic_block_model,
+)
+from repro.utils.seed import new_rng
+
+
+class TestStochasticBlockModel:
+    def test_shape_and_symmetry(self, rng):
+        adjacency = stochastic_block_model([20, 20], p_in=0.3, p_out=0.02, rng=rng)
+        assert adjacency.shape == (40, 40)
+        assert (adjacency != adjacency.T).nnz == 0
+
+    def test_no_self_loops(self, rng):
+        adjacency = stochastic_block_model([30, 30], p_in=0.4, p_out=0.05, rng=rng)
+        assert adjacency.diagonal().sum() == 0.0
+
+    def test_binary_entries(self, rng):
+        adjacency = stochastic_block_model([25, 25], p_in=0.5, p_out=0.1, rng=rng)
+        assert set(np.unique(adjacency.data)).issubset({1.0})
+
+    def test_homophily_reflects_parameters(self, rng):
+        adjacency = stochastic_block_model([50, 50], p_in=0.3, p_out=0.01, rng=rng)
+        labels = np.repeat([0, 1], 50)
+        coo = adjacency.tocoo()
+        same = labels[coo.row] == labels[coo.col]
+        assert same.mean() > 0.8
+
+    def test_zero_probabilities_give_empty_graph(self, rng):
+        adjacency = stochastic_block_model([10, 10], p_in=0.0, p_out=0.0, rng=rng)
+        assert adjacency.nnz == 0
+
+    def test_invalid_probability_rejected(self, rng):
+        with pytest.raises(DatasetError):
+            stochastic_block_model([10], p_in=1.5, p_out=0.0, rng=rng)
+
+    def test_invalid_block_size_rejected(self, rng):
+        with pytest.raises(DatasetError):
+            stochastic_block_model([10, 0], p_in=0.1, p_out=0.0, rng=rng)
+
+    def test_determinism(self):
+        a = stochastic_block_model([20, 20], 0.3, 0.02, new_rng(5))
+        b = stochastic_block_model([20, 20], 0.3, 0.02, new_rng(5))
+        assert (a != b).nnz == 0
+
+
+class TestDegreeCorrectedSBM:
+    def test_degree_distribution_is_skewed(self, rng):
+        adjacency = degree_corrected_sbm([200, 200], p_in=0.05, p_out=0.005, rng=rng)
+        degrees = np.asarray(adjacency.sum(axis=1)).reshape(-1)
+        assert degrees.max() > 2.0 * degrees.mean()
+
+    def test_symmetry_and_no_self_loops(self, rng):
+        adjacency = degree_corrected_sbm([50, 50], p_in=0.1, p_out=0.01, rng=rng)
+        assert (adjacency != adjacency.T).nnz == 0
+        assert adjacency.diagonal().sum() == 0.0
+
+
+class TestClassCorrelatedFeatures:
+    def test_shape_and_row_normalisation(self, rng):
+        labels = np.repeat([0, 1, 2], 20)
+        features = class_correlated_features(labels, 30, 3, 0.5, 0.05, rng)
+        assert features.shape == (60, 30)
+        sums = features.sum(axis=1)
+        nonzero = sums > 0
+        np.testing.assert_allclose(sums[nonzero], np.ones(nonzero.sum()))
+
+    def test_class_signal_columns_are_more_active(self, rng):
+        labels = np.repeat([0, 1], 100)
+        features = class_correlated_features(labels, 40, 5, 0.6, 0.02, rng)
+        class0_rows = features[labels == 0]
+        own_signal = (class0_rows[:, :5] > 0).mean()
+        other_signal = (class0_rows[:, 5:10] > 0).mean()
+        assert own_signal > other_signal
+
+    def test_too_many_signal_words_rejected(self, rng):
+        labels = np.repeat([0, 1, 2, 3], 5)
+        with pytest.raises(DatasetError):
+            class_correlated_features(labels, 10, 5, 0.5, 0.01, rng)
+
+    def test_invalid_density_rejected(self, rng):
+        with pytest.raises(DatasetError):
+            class_correlated_features(np.zeros(5, dtype=int), 10, 1, 0.5, 1.5, rng)
+
+
+class TestGeneratorProperties:
+    @given(
+        block_size=st.integers(min_value=5, max_value=40),
+        num_blocks=st.integers(min_value=1, max_value=4),
+        p_in=st.floats(min_value=0.0, max_value=0.5),
+        p_out=st.floats(min_value=0.0, max_value=0.2),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_sbm_invariants(self, block_size, num_blocks, p_in, p_out, seed):
+        adjacency = stochastic_block_model(
+            [block_size] * num_blocks, p_in, p_out, new_rng(seed)
+        )
+        n = block_size * num_blocks
+        assert adjacency.shape == (n, n)
+        # Symmetric, binary, no self-loops — for every sampled configuration.
+        assert (adjacency != adjacency.T).nnz == 0
+        assert adjacency.diagonal().sum() == 0.0
+        if adjacency.nnz:
+            assert adjacency.data.max() <= 1.0
+
+    @given(
+        num_nodes=st.integers(min_value=4, max_value=60),
+        num_classes=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_feature_rows_are_l1_normalised(self, num_nodes, num_classes, seed):
+        generator = new_rng(seed)
+        labels = generator.integers(0, num_classes, size=num_nodes)
+        features = class_correlated_features(labels, 8 * num_classes, 2, 0.5, 0.1, generator)
+        sums = features.sum(axis=1)
+        assert np.all((np.isclose(sums, 1.0)) | (sums == 0.0))
+        assert np.all(features >= 0.0)

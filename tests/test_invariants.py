@@ -1,0 +1,127 @@
+"""Cross-module invariants: things that must hold regardless of configuration.
+
+These tests guard the contracts the attack and condensation code rely on:
+inputs are never mutated, budgets are respected, and provenance metadata is
+carried through the pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attack import BGC, BGCConfig, TriggerConfig
+from repro.attack.selection import SelectionConfig
+from repro.condensation import CondensationConfig, make_condenser
+from repro.utils.seed import new_rng
+
+
+def tiny_attack_config(**overrides) -> BGCConfig:
+    defaults = dict(
+        poison_ratio=0.3,
+        epochs=2,
+        surrogate_steps=5,
+        generator_steps=1,
+        update_batch_size=4,
+        trigger=TriggerConfig(trigger_size=2, hidden=8),
+        selection=SelectionConfig(num_clusters=2, selector_epochs=10),
+    )
+    defaults.update(overrides)
+    return BGCConfig(**defaults)
+
+
+class TestInputImmutability:
+    """Attacks and condensers must never mutate the caller's graph."""
+
+    def _snapshot(self, graph):
+        return (
+            graph.adjacency.copy(),
+            graph.features.copy(),
+            graph.labels.copy(),
+            graph.split.train.copy(),
+        )
+
+    def _assert_unchanged(self, graph, snapshot):
+        adjacency, features, labels, train = snapshot
+        assert (graph.adjacency != adjacency).nnz == 0
+        np.testing.assert_allclose(graph.features, features)
+        np.testing.assert_array_equal(graph.labels, labels)
+        np.testing.assert_array_equal(graph.split.train, train)
+
+    @pytest.mark.parametrize("condenser_name", ["dc-graph", "gcond", "gcond-x", "gc-sntk"])
+    def test_condense_does_not_mutate_graph(self, small_graph, condenser_name):
+        snapshot = self._snapshot(small_graph)
+        condenser = make_condenser(condenser_name, CondensationConfig(epochs=2, ratio=0.3))
+        condenser.condense(small_graph, new_rng(0))
+        self._assert_unchanged(small_graph, snapshot)
+
+    def test_bgc_does_not_mutate_graph(self, small_graph):
+        snapshot = self._snapshot(small_graph)
+        attack = BGC(tiny_attack_config())
+        attack.run(small_graph, make_condenser("gcond-x", CondensationConfig(epochs=2, ratio=0.3)), new_rng(0))
+        self._assert_unchanged(small_graph, snapshot)
+
+
+class TestBudgetsAndProvenance:
+    def test_condensed_node_budget_scales_with_ratio(self, small_graph):
+        sizes = []
+        for ratio in (0.2, 0.4, 0.8):
+            condenser = make_condenser("dc-graph", CondensationConfig(epochs=1, ratio=ratio))
+            condensed = condenser.condense(small_graph, new_rng(0))
+            sizes.append(condensed.num_nodes)
+        assert sizes == sorted(sizes)
+        assert sizes[-1] <= small_graph.num_nodes
+
+    def test_condensed_graph_records_provenance(self, small_graph):
+        condenser = make_condenser("gcond", CondensationConfig(epochs=1, ratio=0.3))
+        condensed = condenser.condense(small_graph, new_rng(0))
+        assert condensed.source == small_graph.name
+        assert condensed.ratio == pytest.approx(0.3)
+        assert condensed.method == "gcond"
+
+    def test_bgc_poison_budget_never_exceeded(self, small_graph):
+        for ratio in (0.1, 0.25, 0.5):
+            attack = BGC(tiny_attack_config(poison_ratio=ratio))
+            result = attack.run(
+                small_graph,
+                make_condenser("gcond-x", CondensationConfig(epochs=2, ratio=0.3)),
+                new_rng(0),
+            )
+            budget = max(1, int(round(ratio * small_graph.split.train.size)))
+            assert result.poisoned_nodes.size <= budget
+
+    def test_bgc_history_length_matches_epochs(self, small_graph):
+        attack = BGC(tiny_attack_config(epochs=3))
+        result = attack.run(
+            small_graph,
+            make_condenser("gcond-x", CondensationConfig(epochs=3, ratio=0.3)),
+            new_rng(0),
+        )
+        assert len(result.history) == 3
+        assert all(np.isfinite(entry["condensation_loss"]) for entry in result.history)
+
+
+class TestDeterminism:
+    def test_clean_condensation_is_deterministic_given_seed(self, small_graph):
+        first = make_condenser("gcond-x", CondensationConfig(epochs=2, ratio=0.3)).condense(
+            small_graph, new_rng(7)
+        )
+        second = make_condenser("gcond-x", CondensationConfig(epochs=2, ratio=0.3)).condense(
+            small_graph, new_rng(7)
+        )
+        np.testing.assert_allclose(first.features, second.features)
+        np.testing.assert_array_equal(first.labels, second.labels)
+
+    def test_bgc_is_deterministic_given_seed(self, small_graph):
+        def run_once():
+            attack = BGC(tiny_attack_config())
+            return attack.run(
+                small_graph,
+                make_condenser("gcond-x", CondensationConfig(epochs=2, ratio=0.3)),
+                new_rng(11),
+            )
+
+        first = run_once()
+        second = run_once()
+        np.testing.assert_array_equal(first.poisoned_nodes, second.poisoned_nodes)
+        np.testing.assert_allclose(first.condensed.features, second.condensed.features)

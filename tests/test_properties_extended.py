@@ -1,0 +1,112 @@
+"""Additional property-based tests: optimisers, defenses and selection scoring."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.autograd import Adam, SGD, Tensor
+from repro.autograd.module import Parameter
+from repro.condensation.base import CondensedGraph
+from repro.defenses import PruneConfig, PruneDefense
+from repro.defenses.detection import FeatureOutlierDetector, SpectralSignatureDetector
+from repro.utils.seed import new_rng
+
+
+def _random_condensed(seed: int, n: int, d: int, num_classes: int) -> CondensedGraph:
+    generator = new_rng(seed)
+    features = generator.normal(size=(n, d))
+    labels = generator.integers(0, num_classes, size=n)
+    upper = np.triu((generator.random((n, n)) < 0.3).astype(float), k=1)
+    adjacency = upper + upper.T
+    return CondensedGraph(features=features, labels=labels, adjacency=adjacency, method="test")
+
+
+class TestOptimizerProperties:
+    @given(
+        dim=st.integers(min_value=1, max_value=6),
+        lr=st.floats(min_value=1e-3, max_value=0.2),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_sgd_step_moves_against_gradient(self, dim, lr, seed):
+        generator = new_rng(seed)
+        start = generator.normal(size=dim)
+        target = generator.normal(size=dim)
+        param = Parameter(start.copy())
+        optimizer = SGD([param], lr=lr)
+        optimizer.zero_grad()
+        diff = param - Tensor(target)
+        (diff * diff).sum().backward()
+        before = float(((start - target) ** 2).sum())
+        optimizer.step()
+        after = float(((param.data - target) ** 2).sum())
+        # A single small SGD step on a convex quadratic never increases the loss
+        # (lr is kept below 1/L = 0.5 for this objective).
+        assert after <= before + 1e-12
+
+    @given(
+        dim=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_adam_first_step_magnitude_bounded_by_lr(self, dim, seed):
+        generator = new_rng(seed)
+        param = Parameter(generator.normal(size=dim))
+        before = param.data.copy()
+        optimizer = Adam([param], lr=0.05)
+        optimizer.zero_grad()
+        (param * param).sum().backward()
+        optimizer.step()
+        # Adam's bias-corrected first step is at most ~lr per coordinate.
+        assert np.all(np.abs(param.data - before) <= 0.05 + 1e-9)
+
+
+class TestDefenseProperties:
+    @given(
+        n=st.integers(min_value=4, max_value=20),
+        d=st.integers(min_value=2, max_value=8),
+        seed=st.integers(min_value=0, max_value=500),
+        fraction=st.floats(min_value=0.1, max_value=0.8),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_prune_only_removes_edges(self, n, d, seed, fraction):
+        condensed = _random_condensed(seed, n, d, num_classes=3)
+        pruned = PruneDefense(PruneConfig(prune_fraction=fraction)).apply_to_condensed(condensed)
+        before = condensed.adjacency > 0
+        after = pruned.adjacency > 0
+        # Pruning never adds edges and never changes features or labels.
+        assert not np.any(after & ~before)
+        np.testing.assert_allclose(pruned.features, condensed.features)
+        np.testing.assert_array_equal(pruned.labels, condensed.labels)
+
+    @given(
+        n=st.integers(min_value=6, max_value=24),
+        d=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=500),
+        contamination=st.floats(min_value=0.05, max_value=0.5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_detectors_flag_expected_fraction(self, n, d, seed, contamination):
+        condensed = _random_condensed(seed, n, d, num_classes=2)
+        for detector_cls in (FeatureOutlierDetector, SpectralSignatureDetector):
+            report = detector_cls(contamination=contamination).detect(condensed)
+            expected = max(1, int(round(contamination * n)))
+            assert report.num_flagged == expected
+            assert report.scores.shape == (n,)
+
+
+class TestSelectionScoreProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=500),
+        balance=st.floats(min_value=0.0, max_value=5.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_metric_is_monotone_in_degree(self, seed, balance):
+        """Eq. 9: at equal distance, a higher-degree node never scores better."""
+        generator = new_rng(seed)
+        distance = float(generator.random())
+        low_degree, high_degree = 2.0, 10.0
+        score_low = distance + balance * low_degree
+        score_high = distance + balance * high_degree
+        assert score_high >= score_low
