@@ -302,7 +302,15 @@ class BGC:
         generator: TriggerGenerator,
         poisoned_nodes: np.ndarray,
     ) -> GraphData:
-        """Attach the current triggers to the poisoned nodes of the original graph."""
+        """Attach the current triggers to the poisoned nodes of the original graph.
+
+        The result is recorded as a delta against ``working``: the only
+        pre-existing rows the attachment touches are the poisoned host nodes
+        (each gains one edge to its trigger block), so downstream propagation
+        through :class:`~repro.graph.cache.PropagationCache` recomputes only
+        the triggers' K-hop neighbourhood each attack epoch instead of the
+        whole graph.
+        """
         features, adjacency = generate_hard_triggers(
             generator, working.adjacency, working.features, poisoned_nodes
         )
@@ -312,12 +320,12 @@ class BGC:
         num_new = new_features.shape[0] - working.num_nodes
         trigger_labels = np.full(num_new, self.config.target_class, dtype=np.int64)
         new_labels = np.concatenate([base_poisoned.labels, trigger_labels])
-        return GraphData(
+        return working.with_delta(
+            poisoned_nodes,
             adjacency=new_adjacency,
             features=new_features,
             labels=new_labels,
             split=base_poisoned.split.copy(),
             name=f"{working.name}-poisoned",
-            inductive=False,
             metadata=dict(working.metadata),
         )

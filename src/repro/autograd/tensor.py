@@ -334,10 +334,17 @@ class Tensor:
         idx = np.asarray(index, dtype=np.int64)
         out_data = self.data[idx]
         shape = self.shape
+        # Strictly-increasing (hence duplicate-free) indices scatter with
+        # plain fancy assignment, far cheaper than the accumulating
+        # np.add.at; unsorted indices take the general path even if unique.
+        unique_rows = idx.size < 2 or bool(np.all(np.diff(idx) > 0))
 
         def vjp(g: np.ndarray) -> np.ndarray:
             full = np.zeros(shape, dtype=np.float64)
-            np.add.at(full, idx, g)
+            if unique_rows:
+                full[idx] = g
+            else:
+                np.add.at(full, idx, g)
             return full
 
         return self._make(out_data, [(self, vjp)])

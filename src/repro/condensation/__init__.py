@@ -25,6 +25,7 @@ from repro.condensation.base import (
 )
 from repro.condensation.gradient_matching import (
     GradientMatchingCondenser,
+    all_class_model_gradients,
     gradient_distance,
     per_class_model_gradient,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "make_condenser",
     "available_condensers",
     "GradientMatchingCondenser",
+    "all_class_model_gradients",
     "gradient_distance",
     "per_class_model_gradient",
     "DCGraph",

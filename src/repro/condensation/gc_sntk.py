@@ -32,6 +32,7 @@ from repro.condensation.base import (
 )
 from repro.condensation.sntk import KernelRidgeRegression
 from repro.exceptions import CondensationError
+from repro.graph.cache import PropagationCache, get_default_cache
 from repro.graph.data import GraphData
 from repro.graph.propagation import sgc_precompute
 from repro.utils.logging import get_logger
@@ -56,6 +57,7 @@ class GCSNTK(Condenser):
         self,
         config: Optional[CondensationConfig] = None,
         ridge: float = 1e-2,
+        cache: Optional[PropagationCache] = None,
     ) -> None:
         super().__init__(config)
         if ridge <= 0:
@@ -63,7 +65,7 @@ class GCSNTK(Condenser):
         self.ridge = ridge
         self._graph: Optional[GraphData] = None
         self._state: Optional[_SNTKState] = None
-        self._propagation_cache: tuple[int, np.ndarray] | None = None
+        self._cache = cache if cache is not None else get_default_cache()
 
     # -------------------------------------------------------------- #
     # Stateful API (mirrors GradientMatchingCondenser for BGC)
@@ -180,11 +182,10 @@ class GCSNTK(Condenser):
         return np.vstack(features), np.asarray(labels, dtype=np.int64)
 
     def _real_propagated(self, graph: GraphData) -> np.ndarray:
-        if self._propagation_cache is not None and self._propagation_cache[0] == id(graph):
-            return self._propagation_cache[1]
-        propagated = sgc_precompute(graph.adjacency, graph.features, self.config.num_hops)
-        self._propagation_cache = (id(graph), propagated)
-        return propagated
+        # Version-keyed shared cache (see repro.graph.cache): replaces the
+        # fragile id()-keyed memo that could serve stale features after
+        # garbage collection recycled an address.
+        return self._cache.propagated(graph, self.config.num_hops)
 
     def _require_state(self) -> _SNTKState:
         if self._state is None:
@@ -210,6 +211,11 @@ class SNTKPredictor:
     def predict(self, adjacency, features: np.ndarray) -> np.ndarray:
         """Propagate query features through ``adjacency`` and classify with KRR."""
         propagated = sgc_precompute(adjacency, np.asarray(features, dtype=np.float64), self.num_hops)
+        return self.predict_propagated(propagated)
+
+    def predict_propagated(self, propagated: np.ndarray) -> np.ndarray:
+        """Classify already-propagated query features (lets callers reuse a
+        :class:`~repro.graph.cache.PropagationCache` product)."""
         return self._krr.predict(propagated)
 
 

@@ -23,6 +23,7 @@ from repro.condensation.base import CondensedGraph
 from repro.condensation.gc_sntk import SNTKPredictor
 from repro.evaluation.metrics import attack_success_rate, clean_test_accuracy
 from repro.exceptions import ConfigurationError
+from repro.graph.cache import get_default_cache
 from repro.graph.data import GraphData
 from repro.graph.subgraph import attach_trigger_subgraph
 from repro.models import Trainer, TrainingConfig, make_model
@@ -107,9 +108,25 @@ def train_model_on_condensed(
     return model
 
 
+def predict_on_graph(model: Predictor, graph: GraphData) -> np.ndarray:
+    """Predict labels for every node of ``graph``, sharing the propagation cache.
+
+    SNTK predictors consume SGC-propagated features directly, so their query
+    propagation is served from the shared
+    :class:`~repro.graph.cache.PropagationCache` — when the condenser already
+    propagated the same graph version with the same hop count, evaluation
+    pays nothing.  GNN predictors normalise internally, which hits the same
+    cache's raw-adjacency memo.
+    """
+    if isinstance(model, SNTKPredictor):
+        propagated = get_default_cache().propagated(graph, model.num_hops)
+        return model.predict_propagated(propagated)
+    return model.predict(graph.adjacency, graph.features)
+
+
 def evaluate_clean(model: Predictor, original: GraphData) -> float:
     """CTA of a trained model on the original graph's test nodes."""
-    predictions = model.predict(original.adjacency, original.features)
+    predictions = predict_on_graph(model, original)
     return clean_test_accuracy(predictions, original.labels, original.split.test)
 
 
@@ -132,7 +149,22 @@ def evaluate_backdoor(
     adjacency, node_features, _ = attach_trigger_subgraph(
         original.adjacency, original.features, test_index, features, structures
     )
-    predictions = model.predict(adjacency, node_features)
+    # Record the trigger attachment as a delta against the original graph:
+    # only the host test nodes gain an edge, so an SNTK evaluation reuses the
+    # original's cached propagation and recomputes just the trigger
+    # neighbourhoods.  The appended trigger rows get placeholder labels
+    # (labels are never read at prediction time).
+    num_new = node_features.shape[0] - original.num_nodes
+    triggered = original.with_delta(
+        test_index,
+        adjacency=adjacency,
+        features=node_features,
+        labels=np.concatenate(
+            [original.labels, np.full(num_new, target_class, dtype=np.int64)]
+        ),
+        name=f"{original.name}-triggered",
+    )
+    predictions = predict_on_graph(model, triggered)
     return attack_success_rate(
         predictions, original.labels, test_index, target_class
     )

@@ -1,13 +1,21 @@
-"""Graph substrate: data containers, normalisation and propagation utilities."""
+"""Graph substrate: data containers, normalisation, propagation and caching."""
 
-from repro.graph.data import GraphData
+from repro.graph.data import GraphData, GraphDelta
 from repro.graph.normalize import (
     gcn_normalize,
     row_normalize,
     add_self_loops,
     symmetric_laplacian,
 )
-from repro.graph.propagation import sgc_precompute, appnp_propagate, chebyshev_polynomials
+from repro.graph.propagation import (
+    sgc_precompute,
+    sgc_precompute_hops,
+    incremental_sgc_precompute,
+    reachable_rows,
+    appnp_propagate,
+    chebyshev_polynomials,
+)
+from repro.graph.cache import PropagationCache, get_default_cache, set_default_cache
 from repro.graph.subgraph import k_hop_subgraph, induced_subgraph, attach_trigger_subgraph
 from repro.graph.generators import (
     stochastic_block_model,
@@ -18,11 +26,18 @@ from repro.graph.splits import SplitIndices, make_planetoid_split, make_inductiv
 
 __all__ = [
     "GraphData",
+    "GraphDelta",
+    "PropagationCache",
+    "get_default_cache",
+    "set_default_cache",
     "gcn_normalize",
     "row_normalize",
     "add_self_loops",
     "symmetric_laplacian",
     "sgc_precompute",
+    "sgc_precompute_hops",
+    "incremental_sgc_precompute",
+    "reachable_rows",
     "appnp_propagate",
     "chebyshev_polynomials",
     "k_hop_subgraph",

@@ -1,0 +1,329 @@
+"""Version-keyed propagation cache shared across the attack / condensation stack.
+
+The hot loop of the BGC attack drives one condensation ``epoch_step`` per
+attack epoch against a freshly-built poisoned graph.  Without caching, every
+epoch pays ``gcn_normalize`` plus K full sparse matmuls over the real graph —
+even though the poisoned graph differs from the base graph only in a handful
+of trigger-attached rows.  :class:`PropagationCache` removes that cost:
+
+* ``gcn_normalize`` results are memoised per :attr:`GraphData.version`
+  (and, for raw scipy matrices handed to the model layer, per object with
+  weakref-based eviction so a recycled ``id()`` can never serve stale data);
+* SGC hop chains ``[X, ÂX, ..., Â^K X]`` are memoised per
+  ``(version, num_hops)``;
+* a graph carrying a :class:`~repro.graph.data.GraphDelta` derivation is
+  propagated **incrementally**: only the K-hop closed neighbourhood of the
+  changed rows is recomputed, all other rows are copied from the base's
+  cached chain (see :mod:`repro.graph.propagation` for the math and why the
+  result is exact, not approximate).
+
+All returned matrices are shared between callers and must be treated as
+read-only.  Entries are kept in a small LRU (graphs are large); base graphs
+stay resident because every incremental update refreshes their recency.
+
+The module-level default cache (:func:`get_default_cache`) is what the
+condensers, the models layer and the evaluation pipeline share, so e.g. a
+``GCond`` and a ``GCondX`` instance condensing the same graph reuse one
+propagation, as does an SNTK evaluation of that graph.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import weakref
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.data import GraphData
+from repro.graph.normalize import gcn_normalize
+from repro.graph.propagation import incremental_sgc_precompute, sgc_precompute_hops
+
+
+class _Entry:
+    """Cached artefacts of one graph version."""
+
+    __slots__ = ("normalized", "hops", "provenance")
+
+    def __init__(self) -> None:
+        self.normalized: Optional[sp.csr_matrix] = None
+        #: hop index -> ``Â^k X``; a *full* chain ``0..K`` for directly
+        #: propagated graphs, possibly only the final hop for derived graphs.
+        self.hops: Dict[int, np.ndarray] = {}
+        #: hop index -> (base_version, dirty_rows) for incrementally computed
+        #: products; lets a retired buffer be *patched* instead of refilled
+        #: when the next update shares the same base (see _take_buffer).
+        self.provenance: Dict[int, tuple] = {}
+
+
+class PropagationCache:
+    """Memoises normalisation and K-hop propagation, keyed by graph version.
+
+    Parameters
+    ----------
+    max_graphs:
+        Maximum number of graph versions kept in the LRU.  Each version may
+        hold up to ``K`` dense ``(N, F)`` products, so the default is small —
+        deliberately so: the attack loop produces a *stream* of one-shot
+        derived versions, and the sooner they are evicted, the sooner their
+        buffers recycle through the pool instead of faulting in fresh pages.
+    """
+
+    def __init__(self, max_graphs: int = 4) -> None:
+        if max_graphs < 2:
+            raise ValueError("max_graphs must be >= 2 (a base and a derived graph)")
+        self.max_graphs = max_graphs
+        self._entries: "OrderedDict[int, _Entry]" = OrderedDict()
+        self._raw_normalized: Dict[int, tuple] = {}
+        # Retired (N, F) product buffers with their patch provenance,
+        # recycled into incremental updates.  Touching fresh pages costs more
+        # than the incremental flops, so the pool matters as much as the
+        # memoisation on page-fault-bound hosts.
+        self._buffer_pool: Dict[
+            Tuple[int, int], List[Tuple[np.ndarray, Optional[tuple]]]
+        ] = {}
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+        self.incremental_updates = 0
+        self.buffer_reuses = 0
+
+    # -------------------------------------------------------------- #
+    # GraphData-level API
+    # -------------------------------------------------------------- #
+    def normalized(self, graph: GraphData) -> sp.csr_matrix:
+        """``gcn_normalize(graph.adjacency)``, memoised per graph version."""
+        with self._lock:
+            entry = self._entry(graph.version)
+            if entry.normalized is None:
+                self.misses += 1
+                entry.normalized = gcn_normalize(graph.adjacency)
+            else:
+                self.hits += 1
+            return entry.normalized
+
+    def propagated(self, graph: GraphData, num_hops: int) -> np.ndarray:
+        """``Â^K X`` for ``graph``, incremental when a derivation is available.
+
+        The returned array is shared: treat it as read-only.
+        """
+        with self._lock:
+            entry = self._entries.get(graph.version)
+            if entry is not None:
+                self._entries.move_to_end(graph.version)
+                cached = entry.hops.get(num_hops)
+                if cached is not None:
+                    self.hits += 1
+                    return cached
+            self.misses += 1
+
+            delta = graph.derivation
+            if delta is not None:
+                # Resolve the base chain BEFORE creating this graph's entry:
+                # with a minimal LRU the derived insertion would otherwise
+                # evict the very base it is about to be patched against,
+                # silently reverting every epoch to a full recompute.
+                base_hops = self._chain(delta.base, num_hops)
+                entry = self._entry(graph.version)
+                if delta.changed_nodes.size == 0 and graph.num_nodes == delta.base.num_nodes:
+                    # Pure metadata variant (labels / split only): share the
+                    # base's product outright.
+                    result = base_hops[num_hops]
+                else:
+                    out, stale_rows = self._take_buffer(
+                        (graph.num_nodes, graph.num_features),
+                        delta.base.version,
+                        num_hops,
+                    )
+                    result, dirty_rows = incremental_sgc_precompute(
+                        self.normalized(graph),
+                        graph.features,
+                        base_hops,
+                        delta.changed_nodes,
+                        num_hops,
+                        out=out,
+                        stale_rows=stale_rows,
+                    )
+                    entry.provenance[num_hops] = (
+                        delta.base.version,
+                        num_hops,
+                        dirty_rows,
+                    )
+                    self.incremental_updates += 1
+                entry.hops[num_hops] = result
+                return result
+
+            chain = self._chain(graph, num_hops)
+            return chain[num_hops]
+
+    def invalidate(self, graph: Optional[GraphData] = None) -> None:
+        """Drop every cached artefact (entries, raw memo, recycled buffers).
+
+        Needed only when a graph's arrays are mutated in place, which breaks
+        the immutability convention the version token relies on.  The clear
+        is deliberately *total* even when ``graph`` is given: cached products
+        can be shared across versions (label-only variants), recycled buffers
+        carry provenance against a base version, and derived entries embed
+        base rows — a surgical per-version drop would leave stale data
+        reachable through any of those paths.  ``graph`` is kept in the
+        signature as documentation of intent at call sites.
+        """
+        del graph
+        with self._lock:
+            self._entries.clear()
+            self._raw_normalized.clear()
+            self._buffer_pool.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters (useful in tests and benchmarks)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "incremental_updates": self.incremental_updates,
+                "buffer_reuses": self.buffer_reuses,
+                "graphs": len(self._entries),
+                "raw_matrices": len(self._raw_normalized),
+            }
+
+    # -------------------------------------------------------------- #
+    # Raw-matrix API (model layer: adjacency without a GraphData wrapper)
+    # -------------------------------------------------------------- #
+    def normalized_adjacency(self, adjacency: sp.spmatrix) -> sp.csr_matrix:
+        """``gcn_normalize(adjacency)`` memoised per live matrix object.
+
+        Raw matrices carry no version token, so the memo is keyed by ``id()``
+        — but, unlike a bare ``id()`` cache, a ``weakref.finalize`` evicts
+        the entry the moment the matrix is garbage collected, so a recycled
+        id can never alias a dead matrix.  A fingerprint over shape, nnz and
+        two data moments guards against in-place edits of a live matrix —
+        including value-only edits that leave the sparsity pattern intact.
+        The fingerprint pass is O(nnz), a fraction of the normalisation it
+        saves.
+        """
+        key = id(adjacency)
+        data = adjacency.data
+        fingerprint = (
+            adjacency.shape,
+            adjacency.nnz,
+            float(data.sum()),
+            float(np.dot(data, data)),
+        )
+        with self._lock:
+            cached = self._raw_normalized.get(key)
+            if cached is not None and cached[0] == fingerprint:
+                self.hits += 1
+                return cached[1]
+            self.misses += 1
+            normalized = gcn_normalize(adjacency)
+            if cached is None:
+                weakref.finalize(adjacency, self._evict_raw, key)
+            self._raw_normalized[key] = (fingerprint, normalized)
+            return normalized
+
+    def _evict_raw(self, key: int) -> None:
+        with self._lock:
+            self._raw_normalized.pop(key, None)
+
+    # -------------------------------------------------------------- #
+    # Internals
+    # -------------------------------------------------------------- #
+    def _entry(self, version: int) -> _Entry:
+        entry = self._entries.get(version)
+        if entry is None:
+            entry = _Entry()
+            self._entries[version] = entry
+        else:
+            self._entries.move_to_end(version)
+        while len(self._entries) > self.max_graphs:
+            _, evicted = self._entries.popitem(last=False)
+            self._retire(evicted)
+        return entry
+
+    #: How many retired buffers to keep per (N, F) shape.
+    _POOL_DEPTH = 2
+
+    def _retire(self, entry: _Entry) -> None:
+        """Recycle an evicted entry's product buffers nobody else references.
+
+        The refcount check is what makes reuse safe: an array still held by a
+        caller (or shared with another entry, or aliased by ``graph.features``
+        for hop 0) has extra references and is left alone.  Expected count 3 =
+        ``entry.hops`` + the local variable + ``getrefcount``'s argument
+        (``items()`` iteration would add a fourth via its yielded tuple).
+        """
+        for hop in list(entry.hops):
+            product = entry.hops[hop]
+            if (
+                isinstance(product, np.ndarray)
+                and product.base is None
+                and product.ndim == 2
+                and sys.getrefcount(product) == 3
+            ):
+                pool = self._buffer_pool.setdefault(product.shape, [])
+                if len(pool) < self._POOL_DEPTH:
+                    pool.append((product, entry.provenance.get(hop)))
+        entry.hops.clear()
+        entry.provenance.clear()
+
+    def _take_buffer(
+        self, shape: Tuple[int, int], base_version: int, num_hops: int
+    ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+        """Pop a retired buffer for reuse, preferring a *patchable* one.
+
+        Returns ``(buffer, stale_rows)``: when the buffer held a product over
+        the same base graph (same version, same hop count), ``stale_rows``
+        names the only rows differing from the embedded base product, and the
+        incremental kernel patches them instead of refilling the buffer.
+        """
+        pool = self._buffer_pool.get(shape)
+        if not pool:
+            return None, None
+        for position, (buffer, provenance) in enumerate(pool):
+            if (
+                provenance is not None
+                and provenance[0] == base_version
+                and provenance[1] == num_hops
+            ):
+                pool.pop(position)
+                self.buffer_reuses += 1
+                return buffer, provenance[2]
+        buffer, _ = pool.pop()
+        self.buffer_reuses += 1
+        return buffer, None
+
+    def _chain(self, graph: GraphData, num_hops: int) -> List[np.ndarray]:
+        """Full hop chain ``[X, ..., Â^K X]`` for ``graph``, cached per hop.
+
+        Used both for directly propagated graphs and for the *base* of an
+        incremental update (which needs every intermediate product).  A
+        derived graph for which only final hops were cached falls back to a
+        full recompute here — correctness never depends on what happens to be
+        resident.
+        """
+        entry = self._entry(graph.version)
+        if all(k in entry.hops for k in range(num_hops + 1)):
+            return [entry.hops[k] for k in range(num_hops + 1)]
+        chain = sgc_precompute_hops(self.normalized(graph), graph.features, num_hops)
+        for k, product in enumerate(chain):
+            entry.hops[k] = product
+        return chain
+
+
+_default_cache = PropagationCache()
+
+
+def get_default_cache() -> PropagationCache:
+    """The process-wide cache shared by condensers, models and evaluation."""
+    return _default_cache
+
+
+def set_default_cache(cache: PropagationCache) -> PropagationCache:
+    """Swap the process-wide cache (tests use this for isolation); returns the old one."""
+    global _default_cache
+    previous = _default_cache
+    _default_cache = cache
+    return previous

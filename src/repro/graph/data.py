@@ -4,10 +4,23 @@ A ``GraphData`` bundles an adjacency matrix (scipy CSR), a dense feature
 matrix, integer node labels and the train/validation/test split.  It is
 immutable by convention: every transformation (poisoning, condensation,
 pruning) returns a new instance.
+
+Every instance carries a process-wide monotonic ``version`` token.  Because
+instances are immutable by convention, the token identifies the *content* of
+``(adjacency, features)`` and is the cache key used by
+:class:`repro.graph.cache.PropagationCache` — unlike ``id()``, a version is
+never reused after garbage collection.
+
+A transformation that only perturbs a few rows of an existing graph (e.g. the
+BGC attack attaching trigger subgraphs to a handful of nodes) should be built
+with :meth:`GraphData.with_delta`, which records a :class:`GraphDelta`
+derivation.  Downstream propagation code can then recompute only the affected
+K-hop neighbourhood instead of the whole graph.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
@@ -16,6 +29,52 @@ import scipy.sparse as sp
 
 from repro.exceptions import GraphValidationError
 from repro.graph.splits import SplitIndices
+
+#: Process-wide monotonic source of :attr:`GraphData.version` tokens.
+_VERSION_COUNTER = itertools.count(1)
+
+
+class GraphDelta:
+    """Derivation record: how a graph differs from the ``base`` it was built from.
+
+    The contract is row-oriented and conservative:
+
+    * the derived graph contains the base's nodes as a prefix (``0..N_base-1``)
+      and may append new nodes after them;
+    * ``changed_nodes`` lists every *pre-existing* node whose feature row or
+      incident edge set differs from the base — for an added or removed edge
+      between two pre-existing nodes, **both** endpoints must be listed
+      (edges incident to appended nodes only need their pre-existing endpoint
+      listed);
+    * every row/column outside ``changed_nodes`` (and outside the appended
+      block) is byte-identical to the base.
+
+    Listing too many nodes is always safe (it only costs speed); listing too
+    few silently corrupts incremental propagation, so callers should err on
+    the conservative side.
+    """
+
+    __slots__ = ("base", "changed_nodes")
+
+    def __init__(self, base: "GraphData", changed_nodes: np.ndarray) -> None:
+        self.base = base
+        self.changed_nodes = np.unique(np.asarray(changed_nodes, dtype=np.int64))
+        if self.changed_nodes.size and (
+            self.changed_nodes[0] < 0 or self.changed_nodes[-1] >= base.num_nodes
+        ):
+            raise GraphValidationError(
+                f"changed_nodes out of range for base graph with {base.num_nodes} nodes"
+            )
+
+    @property
+    def base_version(self) -> int:
+        return self.base.version
+
+    def __repr__(self) -> str:  # keep reprs small: never print the base arrays
+        return (
+            f"GraphDelta(base_version={self.base.version}, "
+            f"changed_nodes={self.changed_nodes.size})"
+        )
 
 
 @dataclass
@@ -47,11 +106,17 @@ class GraphData:
     name: str = "graph"
     inductive: bool = False
     metadata: Dict[str, float] = field(default_factory=dict)
+    #: Optional derivation record linking this graph to the base it was built
+    #: from (see :class:`GraphDelta` and :meth:`with_delta`).
+    derivation: Optional[GraphDelta] = field(default=None, repr=False, compare=False)
+    #: Monotonic content token; assigned at construction, never reused.
+    version: int = field(default=0, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.adjacency = self.adjacency.tocsr().astype(np.float64)
         self.features = np.asarray(self.features, dtype=np.float64)
         self.labels = np.asarray(self.labels, dtype=np.int64)
+        self.version = next(_VERSION_COUNTER)
         self.validate()
 
     # -------------------------------------------------------------- #
@@ -83,6 +148,11 @@ class GraphData:
                 raise GraphValidationError(
                     f"{split_name} indices out of range for graph with {n} nodes"
                 )
+        if self.derivation is not None and n < self.derivation.base.num_nodes:
+            raise GraphValidationError(
+                f"derived graph has {n} nodes but its base has "
+                f"{self.derivation.base.num_nodes}; deltas may only append nodes"
+            )
 
     @property
     def num_nodes(self) -> int:
@@ -109,7 +179,36 @@ class GraphData:
     # Transformations
     # -------------------------------------------------------------- #
     def with_(self, **changes) -> "GraphData":
-        """Return a copy with the given fields replaced."""
+        """Return a copy with the given fields replaced.
+
+        When neither ``adjacency`` nor ``features`` is replaced, the result
+        shares its propagation identity with this graph: an existing
+        derivation is carried over, and otherwise an empty delta against this
+        graph is recorded, so :class:`~repro.graph.cache.PropagationCache`
+        can serve the base's propagated features without any recomputation.
+        Replacing ``adjacency`` or ``features`` drops the derivation (the
+        caller no longer guarantees the delta contract); use
+        :meth:`with_delta` instead to keep incremental propagation available.
+        """
+        if "adjacency" in changes or "features" in changes:
+            changes.setdefault("derivation", None)
+        elif "derivation" not in changes and self.derivation is None:
+            changes["derivation"] = GraphDelta(
+                base=self, changed_nodes=np.empty(0, dtype=np.int64)
+            )
+        return replace(self, **changes)
+
+    def with_delta(self, changed_nodes: np.ndarray, **changes) -> "GraphData":
+        """Return a variant recording *which* rows differ from this graph.
+
+        ``changed_nodes`` must satisfy the :class:`GraphDelta` contract: it
+        lists every pre-existing node whose feature row or incident edge set
+        the new ``adjacency`` / ``features`` modify; appended nodes (rows
+        beyond ``self.num_nodes``) are implied.  The returned graph carries a
+        derivation against ``self``, enabling incremental K-hop propagation
+        proportional to the delta instead of the graph.
+        """
+        changes["derivation"] = GraphDelta(base=self, changed_nodes=changed_nodes)
         return replace(self, **changes)
 
     def copy(self) -> "GraphData":

@@ -10,15 +10,26 @@ import scipy.sparse as sp
 from repro.autograd import Module, Tensor
 from repro.autograd.tensor import sparse_matmul
 from repro.exceptions import ConfigurationError
+from repro.graph.cache import get_default_cache
 from repro.graph.normalize import dense_gcn_normalize, gcn_normalize
 
 Adjacency = Union[sp.spmatrix, np.ndarray]
 
 
 def normalize_adjacency(adjacency: Adjacency, add_loops: bool = True) -> Adjacency:
-    """GCN-normalise either a sparse or a dense adjacency matrix."""
+    """GCN-normalise either a sparse or a dense adjacency matrix.
+
+    The default sparse path is memoised in the shared
+    :class:`~repro.graph.cache.PropagationCache`: full-batch training calls
+    ``forward`` (and therefore normalisation) once per epoch on the same
+    adjacency, so the memo turns hundreds of ``gcn_normalize`` passes per fit
+    into one.  Dense (condensed-graph) adjacencies are tiny and stay
+    uncached, as does the rare ``add_loops=False`` variant.
+    """
     if sp.issparse(adjacency):
-        return gcn_normalize(adjacency, add_loops=add_loops)
+        if add_loops:
+            return get_default_cache().normalized_adjacency(adjacency)
+        return gcn_normalize(adjacency, add_loops=False)
     return dense_gcn_normalize(np.asarray(adjacency), add_loops=add_loops)
 
 

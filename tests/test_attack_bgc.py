@@ -120,7 +120,7 @@ class TestBGCEffectiveness:
 
     @pytest.fixture(scope="class")
     def attack_outcome(self):
-        from conftest import build_small_graph
+        from helpers import build_small_graph
 
         graph = build_small_graph(seed=11, nodes_per_class=50, train_per_class=15)
         condenser = make_condenser("gcond-x", CondensationConfig(epochs=10, ratio=0.25))

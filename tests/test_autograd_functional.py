@@ -10,7 +10,7 @@ from repro.autograd import functional as F
 from repro.exceptions import AutogradError
 from repro.utils.seed import new_rng
 
-from conftest import numerical_gradient
+from helpers import numerical_gradient
 
 
 class TestSoftmaxFamily:

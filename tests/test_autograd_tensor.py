@@ -10,7 +10,7 @@ from repro.autograd import Tensor, no_grad, is_grad_enabled
 from repro.autograd.tensor import sparse_matmul
 from repro.exceptions import AutogradError
 
-from conftest import numerical_gradient
+from helpers import numerical_gradient
 
 
 def check_gradient(build_loss, shape, rng, rtol=1e-5, atol=1e-7):

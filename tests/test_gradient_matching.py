@@ -11,6 +11,7 @@ from repro.condensation import CondensationConfig, make_condenser
 from repro.condensation.gradient_matching import (
     GradientMatchingCondenser,
     StructureGenerator,
+    all_class_model_gradients,
     gradient_distance,
     normalize_dense_tensor,
     per_class_model_gradient,
@@ -48,6 +49,41 @@ class TestPerClassGradient:
         full = per_class_model_gradient(propagated, labels, weight, np.arange(6), 2)
         class0 = per_class_model_gradient(propagated, labels, weight, np.arange(3), 2)
         assert not np.allclose(full, class0)
+
+
+class TestAllClassGradients:
+    """The vectorised one-pass routine must agree with the scalar per-class one."""
+
+    def test_matches_per_class_routine(self, rng):
+        n, d, c = 40, 7, 4
+        propagated = rng.normal(size=(n, d))
+        labels = rng.integers(0, c, size=n)
+        weight = rng.normal(size=(d, c))
+        # A shuffled, strict-subset index mirrors how train splits look.
+        index = rng.permutation(n)[: n - 5]
+
+        vectorised = all_class_model_gradients(propagated, labels, weight, index, c)
+        for cls in range(c):
+            class_index = index[labels[index] == cls]
+            if class_index.size == 0:
+                assert cls not in vectorised
+                continue
+            expected = per_class_model_gradient(propagated, labels, weight, class_index, c)
+            np.testing.assert_allclose(vectorised[cls], expected, rtol=1e-12, atol=1e-14)
+
+    def test_absent_class_is_omitted(self, rng):
+        propagated = rng.normal(size=(6, 3))
+        labels = np.array([0, 0, 0, 2, 2, 2])
+        weight = rng.normal(size=(3, 3))
+        gradients = all_class_model_gradients(propagated, labels, weight, np.arange(6), 3)
+        assert set(gradients) == {0, 2}
+
+    def test_empty_index_returns_empty_mapping(self, rng):
+        weight = rng.normal(size=(4, 2))
+        gradients = all_class_model_gradients(
+            rng.normal(size=(5, 4)), np.zeros(5, dtype=int), weight, np.array([], dtype=int), 2
+        )
+        assert gradients == {}
 
 
 class TestGradientDistance:

@@ -10,7 +10,7 @@ from repro.exceptions import GraphValidationError
 from repro.graph.data import GraphData
 from repro.graph.splits import SplitIndices, make_inductive_split, make_planetoid_split
 
-from conftest import build_small_graph
+from helpers import build_small_graph
 
 
 class TestGraphDataValidation:

@@ -23,7 +23,7 @@ from repro.evaluation.pipeline import (
 )
 from repro.utils.seed import new_rng
 
-from conftest import build_small_graph
+from helpers import build_small_graph
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,396 @@
+"""Tests for graph version tokens, deltas and the shared propagation cache."""
+
+from __future__ import annotations
+
+import gc
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from helpers import build_small_graph
+from repro.attack.bgc import BGC, BGCConfig
+from repro.attack.trigger import TriggerConfig, TriggerGenerator
+from repro.condensation import CondensationConfig
+from repro.condensation.dc_graph import DCGraph
+from repro.condensation.gc_sntk import GCSNTK
+from repro.condensation.gcond import GCond, GCondX
+from repro.exceptions import GraphValidationError
+from repro.graph.cache import PropagationCache
+from repro.graph.data import GraphData, GraphDelta
+from repro.graph.propagation import incremental_sgc_precompute, sgc_precompute
+from repro.graph.splits import SplitIndices
+from repro.utils.seed import new_rng
+
+
+def _random_delta(graph: GraphData, rng: np.random.Generator):
+    """A random variant of ``graph`` honouring the GraphDelta contract.
+
+    Feature rows are perturbed only inside the changed set ``S``; edges are
+    toggled only between endpoints that both lie in ``S`` or in the appended
+    block; a random number of new nodes is appended.
+    """
+    n = graph.num_nodes
+    changed = np.sort(
+        rng.choice(n, size=int(rng.integers(1, max(2, n // 10))), replace=False)
+    )
+    num_new = int(rng.integers(0, 4))
+    total = n + num_new
+
+    dense = np.zeros((total, total))
+    dense[:n, :n] = graph.adjacency.toarray()
+    pool = np.concatenate([changed, np.arange(n, total)])
+    if pool.size >= 2:
+        for _ in range(int(rng.integers(1, 8))):
+            i, j = rng.choice(pool, size=2, replace=False)
+            value = 1.0 - dense[i, j]
+            dense[i, j] = dense[j, i] = value
+
+    features = np.vstack(
+        [graph.features.copy(), rng.normal(size=(num_new, graph.num_features))]
+    )
+    features[changed] += rng.normal(scale=0.5, size=(changed.size, graph.num_features))
+    labels = np.concatenate(
+        [graph.labels, rng.integers(0, graph.num_classes, size=num_new)]
+    )
+    return graph.with_delta(
+        changed,
+        adjacency=sp.csr_matrix(dense),
+        features=features,
+        labels=labels,
+    )
+
+
+class TestVersionTokens:
+    def test_versions_are_unique_and_monotonic(self, small_graph):
+        other = build_small_graph(seed=11)
+        assert small_graph.version != other.version
+        newer = small_graph.with_(name="renamed")
+        assert newer.version > small_graph.version
+
+    def test_label_only_variant_records_empty_delta(self, small_graph):
+        variant = small_graph.with_(labels=small_graph.labels.copy())
+        assert variant.derivation is not None
+        assert variant.derivation.base is small_graph
+        assert variant.derivation.changed_nodes.size == 0
+
+    def test_existing_derivation_survives_metadata_change(self, small_graph, rng):
+        derived = _random_delta(small_graph, rng)
+        renamed = derived.with_(name="renamed")
+        assert renamed.derivation is derived.derivation
+
+    def test_structural_change_drops_derivation(self, small_graph):
+        variant = small_graph.with_(labels=small_graph.labels.copy())
+        structural = variant.with_(features=variant.features * 2.0)
+        assert structural.derivation is None
+
+    def test_with_delta_validates_changed_nodes(self, small_graph):
+        with pytest.raises(GraphValidationError):
+            small_graph.with_delta(np.array([small_graph.num_nodes]))
+
+    def test_delta_may_only_append_nodes(self, small_graph):
+        shrunk = sp.csr_matrix((5, 5))
+        with pytest.raises(GraphValidationError):
+            GraphData(
+                adjacency=shrunk,
+                features=np.zeros((5, small_graph.num_features)),
+                labels=np.zeros(5, dtype=np.int64),
+                split=SplitIndices(
+                    train=np.array([0]), val=np.array([1]), test=np.array([2])
+                ),
+                derivation=GraphDelta(
+                    base=small_graph, changed_nodes=np.empty(0, dtype=np.int64)
+                ),
+            )
+
+
+class TestIncrementalEquivalence:
+    @pytest.mark.parametrize("trial", range(8))
+    def test_random_deltas_match_full_recompute(self, trial):
+        """Property-style: incremental propagation equals a cold recompute."""
+        rng = new_rng(1000 + trial)
+        graph = build_small_graph(seed=trial)
+        derived = _random_delta(graph, rng)
+        cache = PropagationCache()
+        for num_hops in (1, 2, 3):
+            expected = sgc_precompute(derived.adjacency, derived.features, num_hops)
+            actual = cache.propagated(derived, num_hops)
+            np.testing.assert_allclose(actual, expected, rtol=0.0, atol=1e-10)
+
+    def test_stacked_deltas_match_full_recompute(self, small_graph):
+        """A delta whose base is itself derived still propagates correctly."""
+        rng = new_rng(77)
+        first = _random_delta(small_graph, rng)
+        second = _random_delta(first, rng)
+        cache = PropagationCache()
+        expected = sgc_precompute(second.adjacency, second.features, 2)
+        np.testing.assert_allclose(
+            cache.propagated(second, 2), expected, rtol=0.0, atol=1e-10
+        )
+
+    def test_label_only_variant_shares_base_product(self, small_graph):
+        cache = PropagationCache()
+        base_product = cache.propagated(small_graph, 2)
+        variant = small_graph.with_(labels=small_graph.labels.copy())
+        assert cache.propagated(variant, 2) is base_product
+
+    def test_incremental_kernel_rejects_short_chain(self, small_graph):
+        with pytest.raises(GraphValidationError):
+            incremental_sgc_precompute(
+                sp.eye(small_graph.num_nodes, format="csr"),
+                small_graph.features,
+                [small_graph.features],
+                np.array([0]),
+                num_hops=2,
+            )
+
+
+class TestCacheBehaviour:
+    def test_repeated_propagation_hits(self, small_graph):
+        cache = PropagationCache()
+        first = cache.propagated(small_graph, 2)
+        hits_before = cache.hits
+        assert cache.propagated(small_graph, 2) is first
+        assert cache.hits == hits_before + 1
+
+    def test_new_version_misses_even_with_equal_shape(self):
+        """Regression for the old ``id(graph)``-keyed memo.
+
+        ``id()`` can be recycled as soon as a graph is garbage collected, so
+        an id-keyed cache could silently serve the *previous* graph's
+        propagated features.  Version tokens are never reused; churn through
+        several same-shape graphs (freeing each so CPython may recycle its
+        address) and check every propagation is fresh and correct.
+        """
+        cache = PropagationCache()
+        graph = None
+        for seed in range(5):
+            del graph
+            gc.collect()
+            graph = build_small_graph(seed=seed)
+            expected = sgc_precompute(graph.adjacency, graph.features, 2)
+            np.testing.assert_allclose(
+                cache.propagated(graph, 2), expected, rtol=0.0, atol=1e-12
+            )
+
+    def test_condenser_sees_fresh_graph_after_object_reuse(self):
+        """The old bug exercised end-to-end through a condenser instance."""
+        cache = PropagationCache()
+        condenser = GCondX(CondensationConfig(epochs=1, ratio=0.2), cache=cache)
+        for seed in (3, 4):
+            graph = build_small_graph(seed=seed)
+            expected = sgc_precompute(
+                graph.adjacency, graph.features, condenser.config.num_hops
+            )
+            np.testing.assert_allclose(
+                condenser._real_propagated(graph), expected, rtol=0.0, atol=1e-12
+            )
+            del graph
+            gc.collect()
+
+    def test_invalidate_after_inplace_mutation(self, small_graph):
+        cache = PropagationCache()
+        before = cache.propagated(small_graph, 2).copy()
+        small_graph.features[:] = small_graph.features * 3.0
+        cache.invalidate(small_graph)
+        after = cache.propagated(small_graph, 2)
+        np.testing.assert_allclose(after, before * 3.0, rtol=1e-10)
+
+    def test_invalidate_discards_provenance_tagged_buffers(self, small_graph):
+        """Regression: a pooled buffer patched against a mutated base.
+
+        After an in-place base mutation plus invalidate(), a recycled buffer
+        whose provenance matched the (unchanged) base version used to be
+        patched in place, returning pre-mutation values on rows outside the
+        stale/dirty sets.  invalidate() must clear the pool too.
+        """
+        rng = new_rng(21)
+        cache = PropagationCache(max_graphs=2)
+        for _ in range(4):  # warm the pool with provenance-tagged buffers
+            derived = TestBufferPool._fixed_shape_delta(small_graph, rng)
+            cache.propagated(derived, 2)
+        small_graph.features[:] = small_graph.features * 2.0
+        cache.invalidate(small_graph)
+        derived = TestBufferPool._fixed_shape_delta(small_graph, rng)
+        expected = sgc_precompute(derived.adjacency, derived.features, 2)
+        np.testing.assert_allclose(
+            cache.propagated(derived, 2), expected, rtol=0.0, atol=1e-10
+        )
+
+    def test_invalidate_all(self, small_graph):
+        cache = PropagationCache()
+        cache.propagated(small_graph, 2)
+        cache.normalized_adjacency(small_graph.adjacency)
+        cache.invalidate()
+        stats = cache.stats()
+        assert stats["graphs"] == 0 and stats["raw_matrices"] == 0
+
+    def test_lru_is_bounded(self):
+        cache = PropagationCache(max_graphs=2)
+        for seed in range(4):
+            cache.propagated(build_small_graph(seed=seed), 1)
+        assert cache.stats()["graphs"] <= 2
+
+    def test_minimal_lru_keeps_base_resident(self, small_graph, rng):
+        """Regression: a derived insertion must never evict its own base.
+
+        With ``max_graphs=2`` an attack-style stream of deltas over one base
+        used to evict the base entry on every epoch, silently reverting to a
+        full recompute per epoch (3 misses/epoch instead of 2: normalize +
+        propagate of the derived graph only).
+        """
+        cache = PropagationCache(max_graphs=2)
+        cache.propagated(small_graph, 2)  # warm the base chain
+        steady_misses = []
+        before = cache.misses
+        for _ in range(4):
+            derived = _random_delta(small_graph, rng)
+            cache.propagated(derived, 2)
+            steady_misses.append(cache.misses - before)
+            before = cache.misses
+        # 2 misses per epoch: the derived graph's propagated + normalized.
+        # Base eviction would show up as 3+ (base chain recomputed too).
+        assert steady_misses == [2, 2, 2, 2]
+
+    def test_shared_across_condenser_families(self, small_graph):
+        """GCond / GCond-X / GC-SNTK reuse one propagation of the same graph."""
+        cache = PropagationCache()
+        config = CondensationConfig(epochs=1, ratio=0.2)
+        product = GCond(config, cache=cache)._real_propagated(small_graph)
+        misses_after_first = cache.misses
+        assert GCondX(config, cache=cache)._real_propagated(small_graph) is product
+        assert (
+            GCSNTK(config, cache=cache)._real_propagated(small_graph) is product
+        )
+        assert cache.misses == misses_after_first
+        # DC-Graph matches raw features and bypasses propagation entirely.
+        assert (
+            DCGraph(config, cache=cache)._real_propagated(small_graph)
+            is small_graph.features
+        )
+
+
+class TestBufferPool:
+    """The retired-buffer pool must recycle aggressively but never alias."""
+
+    @staticmethod
+    def _fixed_shape_delta(graph, rng, num_new=2):
+        """A delta variant with a fixed appended-node count, so successive
+        products share a shape and exercise the provenance patch path."""
+        n = graph.num_nodes
+        changed = np.sort(rng.choice(n, size=3, replace=False))
+        dense = np.zeros((n + num_new, n + num_new))
+        dense[:n, :n] = graph.adjacency.toarray()
+        for i in range(num_new):
+            dense[changed[i % 3], n + i] = dense[n + i, changed[i % 3]] = 1.0
+        features = np.vstack(
+            [graph.features.copy(), rng.normal(size=(num_new, graph.num_features))]
+        )
+        labels = np.concatenate([graph.labels, np.zeros(num_new, dtype=np.int64)])
+        return graph.with_delta(
+            changed, adjacency=sp.csr_matrix(dense), features=features, labels=labels
+        )
+
+    def test_steady_state_reuses_buffers_and_stays_exact(self, small_graph):
+        rng = new_rng(9)
+        cache = PropagationCache(max_graphs=2)
+        for _ in range(8):
+            derived = self._fixed_shape_delta(small_graph, rng)
+            product = cache.propagated(derived, 2)
+            expected = sgc_precompute(derived.adjacency, derived.features, 2)
+            np.testing.assert_allclose(product, expected, rtol=0.0, atol=1e-10)
+            del product
+        assert cache.stats()["buffer_reuses"] > 0
+
+    def test_live_products_are_never_recycled(self, small_graph):
+        rng = new_rng(10)
+        cache = PropagationCache(max_graphs=2)
+        held = cache.propagated(self._fixed_shape_delta(small_graph, rng), 2)
+        held_snapshot = held.copy()
+        later = []
+        for _ in range(6):  # churn versions to force evictions and pool takes
+            derived = self._fixed_shape_delta(small_graph, rng)
+            later.append(cache.propagated(derived, 2))
+        for index, product in enumerate(later):
+            assert not np.shares_memory(product, held)
+            for other in later[index + 1 :]:
+                assert not np.shares_memory(product, other)
+        np.testing.assert_array_equal(held, held_snapshot)
+
+
+class TestRawAdjacencyMemo:
+    def test_same_matrix_returns_cached_operator(self, small_graph):
+        cache = PropagationCache()
+        first = cache.normalized_adjacency(small_graph.adjacency)
+        assert cache.normalized_adjacency(small_graph.adjacency) is first
+
+    def test_entry_evicted_when_matrix_dies(self):
+        cache = PropagationCache()
+        matrix = sp.eye(10, format="csr")
+        cache.normalized_adjacency(matrix)
+        assert cache.stats()["raw_matrices"] == 1
+        del matrix
+        gc.collect()
+        assert cache.stats()["raw_matrices"] == 0
+
+    def test_value_only_inplace_edit_is_detected(self):
+        """Regression: scaling .data in place keeps (shape, nnz) intact —
+        the fingerprint must still catch it."""
+        from repro.graph.normalize import gcn_normalize
+
+        cache = PropagationCache()
+        dense = np.zeros((5, 5))
+        dense[0, 1] = dense[1, 0] = 1.0
+        matrix = sp.csr_matrix(dense)
+        stale = cache.normalized_adjacency(matrix)
+        matrix.data *= 2.0
+        fresh = cache.normalized_adjacency(matrix)
+        assert fresh is not stale
+        np.testing.assert_allclose(
+            fresh.toarray(), gcn_normalize(matrix).toarray(), rtol=1e-12
+        )
+
+    def test_structural_inplace_edit_is_detected(self):
+        import warnings
+
+        from repro.graph.normalize import gcn_normalize
+
+        cache = PropagationCache()
+        dense = np.zeros((6, 6))
+        dense[0, 1] = dense[1, 0] = 1.0
+        matrix = sp.csr_matrix(dense)
+        stale = cache.normalized_adjacency(matrix)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")  # SparseEfficiencyWarning
+            matrix[2, 3] = 1.0
+            matrix[3, 2] = 1.0
+        fresh = cache.normalized_adjacency(matrix)
+        assert fresh is not stale
+        np.testing.assert_allclose(
+            fresh.toarray(), gcn_normalize(matrix).toarray(), rtol=1e-12
+        )
+
+
+class TestBGCDeltaIntegration:
+    def test_poisoned_graph_records_delta_against_working(self, small_graph, rng):
+        attack = BGC(BGCConfig(poison_number=3, epochs=1))
+        generator = TriggerGenerator(
+            small_graph.num_features, rng, TriggerConfig(trigger_size=2)
+        )
+        generator.calibrate(small_graph.features)
+        poisoned_nodes = np.array([1, 5, 9])
+        base_poisoned = small_graph.with_(labels=small_graph.labels.copy())
+        poisoned = attack._build_poisoned_graph(
+            small_graph, base_poisoned, generator, poisoned_nodes
+        )
+        assert poisoned.derivation is not None
+        assert poisoned.derivation.base is small_graph
+        np.testing.assert_array_equal(
+            poisoned.derivation.changed_nodes, np.unique(poisoned_nodes)
+        )
+        cache = PropagationCache()
+        expected = sgc_precompute(poisoned.adjacency, poisoned.features, 2)
+        np.testing.assert_allclose(
+            cache.propagated(poisoned, 2), expected, rtol=0.0, atol=1e-10
+        )
+        assert cache.stats()["incremental_updates"] == 1
