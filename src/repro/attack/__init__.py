@@ -19,6 +19,7 @@ from repro.attack.trigger import (
     TriggerGenerator,
     TriggerConfig,
     UniversalTriggerGenerator,
+    batched_local_trigger_loss,
     generate_hard_triggers,
     local_trigger_loss,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "TriggerGenerator",
     "TriggerConfig",
     "UniversalTriggerGenerator",
+    "batched_local_trigger_loss",
     "generate_hard_triggers",
     "local_trigger_loss",
     "BGC",

@@ -29,8 +29,8 @@ from repro.attack.selection import (
 from repro.attack.trigger import (
     TriggerConfig,
     TriggerGenerator,
+    batched_local_trigger_loss,
     generate_hard_triggers,
-    local_trigger_loss,
 )
 from repro.autograd import Adam, Parameter, Tensor
 from repro.autograd import functional as F
@@ -245,7 +245,14 @@ class BGC:
         surrogate_weight: np.ndarray,
         rng: np.random.Generator,
     ) -> float:
-        """Run ``generator_steps`` optimisation steps of the trigger generator."""
+        """Run ``generator_steps`` optimisation steps of the trigger generator.
+
+        Each step draws one batch and optimises the mean surrogate
+        cross-entropy (Eq. 13) over it via
+        :func:`~repro.attack.trigger.batched_local_trigger_loss` — a single
+        block-diagonal autograd graph for the whole batch rather than one
+        small graph per node.
+        """
         config = self.config
         weight_tensor = Tensor(surrogate_weight)
         if config.directed:
@@ -259,38 +266,20 @@ class BGC:
             batch_size = min(config.update_batch_size, pool.size)
             batch = rng.choice(pool, size=batch_size, replace=False)
             optimizer.zero_grad()
-            total: Optional[Tensor] = None
-            for node in batch:
-                node_loss = self._trigger_loss(
-                    int(node), working, encoder_inputs, generator, weight_tensor
-                )
-                total = node_loss if total is None else total + node_loss
-            loss = total * (1.0 / batch_size)
+            loss = batched_local_trigger_loss(
+                batch,
+                working,
+                encoder_inputs,
+                generator,
+                weight_tensor,
+                target_class=config.target_class,
+                max_neighbors=config.max_neighbors,
+                num_hops=config.surrogate_hops,
+            )
             loss.backward()
             optimizer.step()
             last_loss = float(loss.item())
         return last_loss
-
-    def _trigger_loss(
-        self,
-        node: int,
-        working: GraphData,
-        encoder_inputs: np.ndarray,
-        generator: TriggerGenerator,
-        surrogate_weight: Tensor,
-    ) -> Tensor:
-        """Surrogate cross-entropy for ``node`` with its trigger attached (Eq. 13)."""
-        config = self.config
-        return local_trigger_loss(
-            node,
-            working,
-            encoder_inputs,
-            generator,
-            surrogate_weight,
-            target_class=config.target_class,
-            max_neighbors=config.max_neighbors,
-            num_hops=config.surrogate_hops,
-        )
 
     # -------------------------------------------------------------- #
     # Poisoned-graph construction

@@ -115,6 +115,19 @@ class TriggerGenerator(Module):
         hidden = F.relu(self.encoder_layer1(inputs))
         return self.encoder_layer2(hidden)
 
+    def _encode_rowwise(self, inputs: Tensor) -> Tensor:
+        """Encode a batch with strictly row-independent semantics.
+
+        Identical to :meth:`_encode` for the MLP and GCN encoders (row-wise
+        linear stacks); the transformer encoder treats each row as its own
+        length-1 sequence instead of attending across the batch, matching
+        what :meth:`trigger_for_node` computes per node.
+        """
+        if self.config.encoder == "transformer":
+            projected = self.input_projection(inputs)
+            return self.encoder_block.forward_per_token(projected)
+        return self._encode(inputs)
+
     # -------------------------------------------------------------- #
     # Generation
     # -------------------------------------------------------------- #
@@ -138,6 +151,32 @@ class TriggerGenerator(Module):
         # Zero the diagonal: trigger nodes carry no self-loops of their own.
         mask = Tensor(1.0 - np.eye(t))
         return features, structure * mask
+
+    def triggers_for_nodes(self, node_inputs: np.ndarray) -> Tuple[Tensor, Tensor]:
+        """Differentiable triggers for a whole batch in one forward pass.
+
+        Returns ``(features, structures)`` with shapes ``(B, t, d)`` and
+        ``(B, t, t)``; row ``i`` equals :meth:`trigger_for_node` of input
+        ``i`` (up to float rounding), but the batch shares one autograd
+        graph.  Row independence is preserved for every encoder — the
+        transformer encoder runs per-token (see :meth:`_encode_rowwise`)
+        rather than attending across whichever nodes happen to share the
+        batch.
+        """
+        inputs = Tensor(np.asarray(node_inputs, dtype=np.float64))
+        if inputs.ndim != 2:
+            raise AttackError(f"node_inputs must be 2-D, got shape {inputs.shape}")
+        batch = inputs.shape[0]
+        t = self.config.trigger_size
+        encoded = self._encode_rowwise(inputs)
+        flat_features = F.tanh(self.feature_head(encoded)) * self._feature_bound
+        flat_structure = F.sigmoid(self.structure_head(encoded))
+        features = flat_features.reshape(batch, t, self.num_features)
+        soft = flat_structure.reshape(batch, t, t)
+        symmetric = (soft + F.transpose_last2(soft)) * 0.5
+        structures = F.straight_through_binarize(symmetric, threshold=0.5)
+        mask = Tensor(1.0 - np.eye(t))
+        return features, structures * mask
 
     def generate(
         self, node_inputs: np.ndarray
@@ -226,6 +265,19 @@ class UniversalTriggerGenerator(Module):
         bounded = F.tanh(self.trigger_features) * self._feature_bound
         return bounded, Tensor(self._structure)
 
+    def triggers_for_nodes(self, node_inputs: np.ndarray) -> Tuple[Tensor, Tensor]:
+        """The shared trigger broadcast over the batch, gradients accumulating."""
+        batch = np.asarray(node_inputs).shape[0]
+        t = self.config.trigger_size
+        bounded = F.tanh(self.trigger_features) * self._feature_bound
+        # Broadcasting multiply tiles the (t, d) block to (B, t, d); the
+        # mul-vjp un-broadcasts by summing over the batch axis, so every
+        # node's gradient flows back into the single shared trigger.
+        ones = Tensor(np.ones((batch, 1, 1)))
+        features = ones * bounded.reshape(1, t, self.num_features)
+        structures = np.repeat(self._structure[None, :, :], batch, axis=0)
+        return features, Tensor(structures)
+
     def generate(self, node_inputs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Tile the shared trigger for each requested node."""
         node_inputs = np.asarray(node_inputs, dtype=np.float64)
@@ -234,6 +286,21 @@ class UniversalTriggerGenerator(Module):
         features = np.repeat(bounded[None, :, :], count, axis=0)
         adjacency = np.repeat(self._structure[None, :, :], count, axis=0)
         return features, adjacency
+
+
+def _local_node_set(csr, node: int, max_neighbors: int) -> np.ndarray:
+    """Center-first local node set of ``node`` with degree-capped sampling.
+
+    High-degree nodes sample ``max_neighbors`` neighbours with a per-node
+    deterministic rng, so the per-node and batched loss paths (and repeated
+    epochs) see identical computation graphs for the same node.
+    """
+    neighbors = csr.indices[csr.indptr[node] : csr.indptr[node + 1]]
+    if neighbors.size > max_neighbors:
+        neighbors = np.sort(
+            np.random.default_rng(node).choice(neighbors, size=max_neighbors, replace=False)
+        )
+    return np.concatenate(([node], neighbors)).astype(np.int64)
 
 
 def local_trigger_loss(
@@ -253,20 +320,19 @@ def local_trigger_loss(
     propagation, so each evaluation costs a few hundred kiloflops while the
     gradient still flows into the trigger features and structure (and from
     there into the generator parameters).
+
+    This is the *reference* path: :func:`batched_local_trigger_loss` computes
+    the same quantity for a whole batch in a single autograd graph and is
+    pinned to this function by equivalence tests.
     """
     from repro.condensation.gradient_matching import normalize_dense_tensor
 
     trigger_features, trigger_structure = generator.trigger_for_node(encoder_inputs[node])
     trigger_size = trigger_features.shape[0]
 
-    csr = graph.adjacency
-    neighbors = csr.indices[csr.indptr[node] : csr.indptr[node + 1]]
-    if neighbors.size > max_neighbors:
-        neighbors = np.sort(
-            np.random.default_rng(node).choice(neighbors, size=max_neighbors, replace=False)
-        )
-    local = np.concatenate(([node], neighbors)).astype(np.int64)
+    local = _local_node_set(graph.adjacency, node, max_neighbors)
     n_local = local.size
+    csr = graph.adjacency
 
     base = csr[local][:, local].toarray()
     connector_cols = np.zeros((n_local, trigger_size))
@@ -287,3 +353,107 @@ def local_trigger_loss(
     for _ in range(num_hops):
         hidden = normalized.matmul(hidden)
     return F.cross_entropy(hidden[0:1], np.array([target_class]))
+
+
+def _batched_gcn_normalize(adjacency: Tensor) -> Tensor:
+    """Batched differentiable GCN normalisation of ``(B, m, m)`` blocks.
+
+    Elementwise identical to applying
+    :func:`repro.condensation.gradient_matching.normalize_dense_tensor` to
+    each block (same self-loop handling and epsilon).
+    """
+    m = adjacency.shape[-1]
+    with_loops = adjacency + Tensor(np.eye(m))
+    degrees = with_loops.sum(axis=2, keepdims=True)
+    inv_sqrt = (degrees + 1e-12) ** -0.5
+    return with_loops * inv_sqrt * F.transpose_last2(inv_sqrt)
+
+
+def batched_local_trigger_loss(
+    nodes: np.ndarray,
+    graph,
+    encoder_inputs: np.ndarray,
+    generator,
+    surrogate_weight: Tensor,
+    target_class: int,
+    max_neighbors: int = 10,
+    num_hops: int = 2,
+) -> Tensor:
+    """Mean of :func:`local_trigger_loss` over ``nodes`` as ONE autograd graph.
+
+    Each node's local computation graph (sampled 1-hop neighbourhood plus
+    trigger block) is an independent connected component, so the whole batch
+    is propagated as a block-diagonal system: local sets are padded to a
+    common width with isolated filler rows (a filler row carries only its
+    self-loop, so no real row ever reads it), stacked into ``(B, m, m)``
+    blocks, normalised and propagated with batched dense ops.  The result
+    matches averaging the per-node reference to float rounding — values *and*
+    gradients — while replacing ``B`` small autograd graphs with one.
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    if nodes.ndim != 1 or nodes.size == 0:
+        raise AttackError(f"nodes must be a non-empty 1-D array, got shape {nodes.shape}")
+    batch = nodes.size
+    csr = graph.adjacency
+    local_sets = [_local_node_set(csr, int(node), max_neighbors) for node in nodes]
+    n_host = max(s.size for s in local_sets)
+
+    trigger_features, trigger_structures = generator.triggers_for_nodes(
+        encoder_inputs[nodes]
+    )
+    trigger_size = trigger_features.shape[1]
+    m = n_host + trigger_size
+
+    # Padded index/validity matrices for the host part of each block.
+    local_pad = np.zeros((batch, n_host), dtype=np.int64)
+    valid = np.zeros((batch, n_host), dtype=bool)
+    for i, local in enumerate(local_sets):
+        local_pad[i, : local.size] = local
+        valid[i, : local.size] = True
+
+    # Induced host adjacency per block: one sparse gather for the whole
+    # batch, then scatter only the entries lying on the (B, n_host, n_host)
+    # block diagonal — never densifying the full (B*m, B*m) cross product,
+    # so memory stays linear in the batch.  Filler rows/cols are zeroed.
+    flat = local_pad.reshape(-1)
+    gathered = csr[flat][:, flat].tocoo()
+    block_row = gathered.row // n_host
+    on_diagonal = block_row == gathered.col // n_host
+    host_blocks = np.zeros((batch, n_host, n_host), dtype=np.float64)
+    host_blocks[
+        block_row[on_diagonal],
+        gathered.row[on_diagonal] % n_host,
+        gathered.col[on_diagonal] % n_host,
+    ] = gathered.data[on_diagonal]
+    host_blocks = host_blocks * valid[:, :, None] * valid[:, None, :]
+
+    # Constant scaffold: host adjacency + host<->trigger connector edges; the
+    # differentiable trigger structures are embedded as the trailing blocks.
+    base = np.zeros((batch, m, m), dtype=np.float64)
+    base[:, :n_host, :n_host] = host_blocks
+    base[:, 0, n_host] = 1.0
+    base[:, n_host, 0] = 1.0
+    local_adjacency = F.embed_blocks(base, trigger_structures, n_host, n_host)
+    normalized = _batched_gcn_normalize(local_adjacency)
+
+    # Project features through the surrogate before propagation, as in the
+    # reference: host rows are constants, trigger rows carry gradients.
+    host_projection = (graph.features[flat] @ surrogate_weight.data).reshape(
+        batch, n_host, -1
+    )
+    host_projection = host_projection * valid[:, :, None]
+    num_classes = surrogate_weight.shape[1]
+    trigger_projection = (
+        trigger_features.reshape(batch * trigger_size, -1)
+        .matmul(surrogate_weight)
+        .reshape(batch, trigger_size, num_classes)
+    )
+    projected = Tensor.concatenate(
+        [Tensor(host_projection), trigger_projection], axis=1
+    )
+
+    hidden = projected
+    for _ in range(num_hops):
+        hidden = F.batched_matmul(normalized, hidden)
+    center_logits = hidden[:, 0, :]
+    return F.cross_entropy(center_logits, np.full(batch, target_class, dtype=np.int64))

@@ -28,6 +28,9 @@ __all__ = [
     "one_hot",
     "l2_norm_squared",
     "straight_through_binarize",
+    "transpose_last2",
+    "batched_matmul",
+    "embed_blocks",
 ]
 
 
@@ -150,6 +153,86 @@ def straight_through_binarize(x: Tensor, threshold: float = 0.5) -> Tensor:
     if not is_grad_enabled() or not x.requires_grad:
         return Tensor(binary, requires_grad=False)
     return Tensor(binary, requires_grad=True, parents=[(x, lambda g: g)])
+
+
+def transpose_last2(x: Tensor) -> Tensor:
+    """Swap the last two axes of an ``(..., m, n)`` tensor.
+
+    The batched counterpart of :attr:`Tensor.T`: applied to a stack of
+    matrices it transposes each matrix independently, which is what the
+    batched trigger loss needs to symmetrise ``(B, t, t)`` structure blocks.
+    """
+    if x.ndim < 2:
+        raise AutogradError(f"transpose_last2 expects ndim >= 2, got shape {x.shape}")
+    out_data = np.swapaxes(x.data, -1, -2).copy()
+
+    def vjp(g: np.ndarray) -> np.ndarray:
+        return np.swapaxes(g, -1, -2)
+
+    if not is_grad_enabled() or not x.requires_grad:
+        return Tensor(out_data, requires_grad=False)
+    return Tensor(out_data, requires_grad=True, parents=[(x, vjp)])
+
+
+def batched_matmul(a: Tensor, b: Tensor) -> Tensor:
+    """Batched matrix product ``(B, m, k) @ (B, k, n) -> (B, m, n)``.
+
+    Both operands must carry the same leading batch dimension; the vjps are
+    the batched analogues of the 2-D matmul rules.
+    """
+    a = Tensor._ensure_tensor(a)
+    b = Tensor._ensure_tensor(b)
+    if a.ndim != 3 or b.ndim != 3:
+        raise AutogradError(
+            f"batched_matmul expects 3-D operands, got {a.shape} and {b.shape}"
+        )
+    if a.shape[0] != b.shape[0] or a.shape[2] != b.shape[1]:
+        raise AutogradError(
+            f"batched_matmul shapes incompatible: {a.shape} and {b.shape}"
+        )
+    a_data, b_data = a.data, b.data
+    out_data = np.matmul(a_data, b_data)
+    parents = [
+        (a, lambda g: np.matmul(g, np.swapaxes(b_data, -1, -2))),
+        (b, lambda g: np.matmul(np.swapaxes(a_data, -1, -2), g)),
+    ]
+    requires = a.requires_grad or b.requires_grad
+    if not is_grad_enabled() or not requires:
+        return Tensor(out_data, requires_grad=False)
+    return Tensor(out_data, requires_grad=True, parents=parents)
+
+
+def embed_blocks(base: np.ndarray, blocks: Tensor, row_start: int, col_start: int) -> Tensor:
+    """Write differentiable sub-blocks into a constant batched matrix.
+
+    ``base`` is a constant ``(B, m, m)`` array; ``blocks`` is a ``(B, t, s)``
+    tensor scattered into ``base[:, row_start:row_start+t,
+    col_start:col_start+s]``.  The gradient w.r.t. ``blocks`` is the matching
+    slice of the upstream gradient; ``base`` receives none (it is constant by
+    construction — the host-graph part of a trigger computation graph).
+    """
+    base = np.asarray(base, dtype=np.float64)
+    if base.ndim != 3 or blocks.ndim != 3 or base.shape[0] != blocks.shape[0]:
+        raise AutogradError(
+            f"embed_blocks expects (B, m, n) base and (B, t, s) blocks, got "
+            f"{base.shape} and {blocks.shape}"
+        )
+    t, s = blocks.shape[1], blocks.shape[2]
+    rows = slice(row_start, row_start + t)
+    cols = slice(col_start, col_start + s)
+    if row_start < 0 or col_start < 0 or row_start + t > base.shape[1] or col_start + s > base.shape[2]:
+        raise AutogradError(
+            f"block ({t}, {s}) at ({row_start}, {col_start}) exceeds base {base.shape}"
+        )
+    out_data = base.copy()
+    out_data[:, rows, cols] = blocks.data
+
+    def vjp(g: np.ndarray) -> np.ndarray:
+        return g[:, rows, cols]
+
+    if not is_grad_enabled() or not blocks.requires_grad:
+        return Tensor(out_data, requires_grad=False)
+    return Tensor(out_data, requires_grad=True, parents=[(blocks, vjp)])
 
 
 def dropout(x: Tensor, rate: float, rng: np.random.Generator, training: bool = True) -> Tensor:

@@ -3,6 +3,8 @@
 from repro.graph.data import GraphData, GraphDelta
 from repro.graph.normalize import (
     gcn_normalize,
+    incremental_gcn_normalize,
+    self_loop_degrees,
     row_normalize,
     add_self_loops,
     symmetric_laplacian,
@@ -16,7 +18,12 @@ from repro.graph.propagation import (
     chebyshev_polynomials,
 )
 from repro.graph.cache import PropagationCache, get_default_cache, set_default_cache
-from repro.graph.subgraph import k_hop_subgraph, induced_subgraph, attach_trigger_subgraph
+from repro.graph.subgraph import (
+    k_hop_subgraph,
+    induced_subgraph,
+    attach_trigger_subgraph,
+    attach_trigger_subgraph_coo,
+)
 from repro.graph.generators import (
     stochastic_block_model,
     degree_corrected_sbm,
@@ -31,6 +38,8 @@ __all__ = [
     "get_default_cache",
     "set_default_cache",
     "gcn_normalize",
+    "incremental_gcn_normalize",
+    "self_loop_degrees",
     "row_normalize",
     "add_self_loops",
     "symmetric_laplacian",
@@ -43,6 +52,7 @@ __all__ = [
     "k_hop_subgraph",
     "induced_subgraph",
     "attach_trigger_subgraph",
+    "attach_trigger_subgraph_coo",
     "stochastic_block_model",
     "degree_corrected_sbm",
     "class_correlated_features",

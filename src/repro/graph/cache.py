@@ -39,17 +39,27 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.graph.data import GraphData
-from repro.graph.normalize import gcn_normalize
+from repro.graph.normalize import (
+    gcn_normalize,
+    incremental_gcn_normalize,
+    self_loop_degrees,
+)
 from repro.graph.propagation import incremental_sgc_precompute, sgc_precompute_hops
 
 
 class _Entry:
     """Cached artefacts of one graph version."""
 
-    __slots__ = ("normalized", "hops", "provenance")
+    __slots__ = ("normalized", "degrees", "nonnegative", "hops", "provenance")
 
     def __init__(self) -> None:
         self.normalized: Optional[sp.csr_matrix] = None
+        #: Self-loop-inclusive degree vector matching ``normalized`` — what
+        #: an incremental renormalisation of a *derived* graph patches from.
+        self.degrees: Optional[np.ndarray] = None
+        #: Whether ``normalized`` is entry-wise non-negative (checked once);
+        #: lets incremental propagation skip its O(nnz) ``abs`` copy.
+        self.nonnegative: bool = False
         #: hop index -> ``Â^k X``; a *full* chain ``0..K`` for directly
         #: propagated graphs, possibly only the final hop for derived graphs.
         self.hops: Dict[int, np.ndarray] = {}
@@ -89,21 +99,75 @@ class PropagationCache:
         self.hits = 0
         self.misses = 0
         self.incremental_updates = 0
+        self.incremental_normalizations = 0
         self.buffer_reuses = 0
 
     # -------------------------------------------------------------- #
     # GraphData-level API
     # -------------------------------------------------------------- #
     def normalized(self, graph: GraphData) -> sp.csr_matrix:
-        """``gcn_normalize(graph.adjacency)``, memoised per graph version."""
+        """``gcn_normalize(graph.adjacency)``, memoised per graph version.
+
+        A graph carrying a :class:`~repro.graph.data.GraphDelta` whose base
+        operator is still resident is renormalised *incrementally*: unchanged
+        rows are spliced from the base with a degree-ratio fix-up, only the
+        changed/appended rows pay a fresh normalisation (see
+        :func:`repro.graph.normalize.incremental_gcn_normalize`).
+        """
         with self._lock:
-            entry = self._entry(graph.version)
-            if entry.normalized is None:
-                self.misses += 1
-                entry.normalized = gcn_normalize(graph.adjacency)
-            else:
+            entry = self._entries.get(graph.version)
+            if entry is not None and entry.normalized is not None:
+                self._entries.move_to_end(graph.version)
                 self.hits += 1
+                return entry.normalized
+            self.misses += 1
+
+            delta = graph.derivation
+            if delta is not None:
+                # Look the base up (and refresh its recency) BEFORE creating
+                # this graph's entry, so the derived insertion cannot evict
+                # the base it is about to be patched against.
+                base_entry = self._entries.get(delta.base.version)
+                if base_entry is not None and base_entry.normalized is not None:
+                    self._entries.move_to_end(delta.base.version)
+                    base_normalized = base_entry.normalized
+                    if base_entry.degrees is None:
+                        base_entry.degrees = self_loop_degrees(delta.base.adjacency)
+                    base_degrees = base_entry.degrees
+                    entry = self._entry(graph.version)
+                    if (
+                        delta.changed_nodes.size == 0
+                        and graph.num_nodes == delta.base.num_nodes
+                    ):
+                        # Pure metadata variant: share the base operator.
+                        self._set_normalized(entry, base_normalized, base_degrees)
+                        entry.nonnegative = base_entry.nonnegative
+                    else:
+                        normalized, degrees = incremental_gcn_normalize(
+                            graph.adjacency,
+                            base_normalized,
+                            base_degrees,
+                            delta.changed_nodes,
+                        )
+                        self._set_normalized(entry, normalized, degrees)
+                        self.incremental_normalizations += 1
+                    return entry.normalized
+
+            entry = self._entry(graph.version)
+            self._set_normalized(
+                entry, gcn_normalize(graph.adjacency), self_loop_degrees(graph.adjacency)
+            )
             return entry.normalized
+
+    @staticmethod
+    def _set_normalized(
+        entry: _Entry, normalized: sp.csr_matrix, degrees: np.ndarray
+    ) -> None:
+        entry.normalized = normalized
+        entry.degrees = degrees
+        entry.nonnegative = bool(
+            normalized.data.size == 0 or normalized.data.min() >= 0.0
+        )
 
     def propagated(self, graph: GraphData, num_hops: int) -> np.ndarray:
         """``Â^K X`` for ``graph``, incremental when a derivation is available.
@@ -138,14 +202,16 @@ class PropagationCache:
                         delta.base.version,
                         num_hops,
                     )
+                    normalized = self.normalized(graph)
                     result, dirty_rows = incremental_sgc_precompute(
-                        self.normalized(graph),
+                        normalized,
                         graph.features,
                         base_hops,
                         delta.changed_nodes,
                         num_hops,
                         out=out,
                         stale_rows=stale_rows,
+                        nonnegative=entry.nonnegative,
                     )
                     entry.provenance[num_hops] = (
                         delta.base.version,
@@ -184,6 +250,7 @@ class PropagationCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "incremental_updates": self.incremental_updates,
+                "incremental_normalizations": self.incremental_normalizations,
                 "buffer_reuses": self.buffer_reuses,
                 "graphs": len(self._entries),
                 "raw_matrices": len(self._raw_normalized),

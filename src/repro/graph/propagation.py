@@ -103,6 +103,7 @@ def incremental_sgc_precompute(
     num_hops: int,
     out: Optional[np.ndarray] = None,
     stale_rows: Optional[np.ndarray] = None,
+    nonnegative: bool = False,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Incrementally compute ``Â'^K X'`` for a graph derived from a cached base.
 
@@ -132,6 +133,11 @@ def incremental_sgc_precompute(
         resets those rows and writes the new dirty rows instead of copying
         the whole base product — this makes the per-epoch cost of the BGC
         attack loop fully proportional to the trigger neighbourhood.
+    nonnegative:
+        Declare the operator entry-wise non-negative (true for any
+        GCN-normalised adjacency of a non-negative graph): frontier expansion
+        then runs on ``normalized`` directly instead of taking a full O(nnz)
+        ``abs`` copy per call.
 
     Returns
     -------
@@ -171,8 +177,9 @@ def incremental_sgc_precompute(
     seed = np.zeros(n_total, dtype=bool)
     seed[np.asarray(changed_nodes, dtype=np.int64)] = True
     seed[n_base:] = True
-    # One |Â'| for all K+1 frontier expansions (it's a full O(nnz) copy).
-    magnitude = abs(normalized)
+    # One |Â'| for all K+1 frontier expansions (it's a full O(nnz) copy,
+    # skipped entirely when the caller vouches for a non-negative operator).
+    magnitude = normalized if nonnegative else abs(normalized)
     # Rows where the derived operator can differ from the embedded base one.
     operator_dirty = reachable_rows(magnitude, seed, nonnegative=True)
 

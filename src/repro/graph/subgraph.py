@@ -72,38 +72,13 @@ def induced_subgraph(
     return sub_adj, sub_features, sub_labels, mapping
 
 
-def attach_trigger_subgraph(
-    adjacency: sp.spmatrix,
+def _validate_trigger_blocks(
     features: np.ndarray,
     target_nodes: np.ndarray,
     trigger_features: np.ndarray,
     trigger_adjacency: np.ndarray,
-) -> Tuple[sp.csr_matrix, np.ndarray, np.ndarray]:
-    """Attach one trigger subgraph per target node.
-
-    Parameters
-    ----------
-    adjacency, features:
-        The host graph.
-    target_nodes:
-        ``(P,)`` node indices to poison.
-    trigger_features:
-        ``(P, t, d)`` features of each node's trigger (``t`` trigger nodes).
-    trigger_adjacency:
-        ``(P, t, t)`` binary internal adjacency of each trigger.
-
-    Returns
-    -------
-    new_adjacency, new_features, trigger_node_index:
-        The poisoned graph plus, for each target node, the indices of its
-        trigger nodes in the new graph (shape ``(P, t)``).
-
-    Each trigger node is connected to its host target node; internal trigger
-    edges follow ``trigger_adjacency``.  The original nodes keep their ids.
-    """
-    target_nodes = np.asarray(target_nodes, dtype=np.int64)
-    trigger_features = np.asarray(trigger_features, dtype=np.float64)
-    trigger_adjacency = np.asarray(trigger_adjacency, dtype=np.float64)
+) -> Tuple[int, int, int]:
+    """Shared validation of the trigger-attachment arguments; returns (P, t, d)."""
     if trigger_features.ndim != 3:
         raise GraphValidationError(
             f"trigger_features must have shape (P, t, d), got {trigger_features.shape}"
@@ -122,6 +97,173 @@ def attach_trigger_subgraph(
         raise GraphValidationError(
             f"trigger feature dim {feature_dim} does not match graph dim {features.shape[1]}"
         )
+    return num_targets, trigger_size, feature_dim
+
+
+def attach_trigger_subgraph(
+    adjacency: sp.spmatrix,
+    features: np.ndarray,
+    target_nodes: np.ndarray,
+    trigger_features: np.ndarray,
+    trigger_adjacency: np.ndarray,
+) -> Tuple[sp.csr_matrix, np.ndarray, np.ndarray]:
+    """Attach one trigger subgraph per target node (CSR surgery, no COO rebuild).
+
+    Parameters
+    ----------
+    adjacency, features:
+        The host graph.
+    target_nodes:
+        ``(P,)`` node indices to poison.
+    trigger_features:
+        ``(P, t, d)`` features of each node's trigger (``t`` trigger nodes).
+    trigger_adjacency:
+        ``(P, t, t)`` binary internal adjacency of each trigger.  Only the
+        strict upper triangle of each block is read; it is mirrored to keep
+        the result symmetric (matching the reference COO path).
+
+    Returns
+    -------
+    new_adjacency, new_features, trigger_node_index:
+        The poisoned graph plus, for each target node, the indices of its
+        trigger nodes in the new graph (shape ``(P, t)``).
+
+    Each trigger node is connected to its host target node; internal trigger
+    edges follow ``trigger_adjacency``.  The original nodes keep their ids
+    *and their edge weights*: pre-existing entries are copied unchanged
+    (clamping them would silently mutate rows outside a delta's
+    ``changed_nodes`` and break the :class:`~repro.graph.data.GraphDelta`
+    contract that incremental propagation and renormalisation rely on), while
+    every new trigger/connector edge has weight exactly 1.
+
+    The output CSR is built directly: the ``indptr`` / ``indices`` / ``data``
+    arrays are preallocated at their final size, pre-existing rows are copied
+    (host rows gain their trigger column in place — trigger columns exceed
+    every host column, so sortedness is free) and the trigger-block rows are
+    scattered in vectorised form.  No intermediate COO matrix, no sparse add,
+    no re-sort: the cost is one pass over the old arrays plus work
+    proportional to the trigger blocks.  Semantics are pinned to
+    :func:`attach_trigger_subgraph_coo` by equivalence tests.
+    """
+    target_nodes = np.asarray(target_nodes, dtype=np.int64)
+    trigger_features = np.asarray(trigger_features, dtype=np.float64)
+    trigger_adjacency = np.asarray(trigger_adjacency, dtype=np.float64)
+    num_targets, trigger_size, feature_dim = _validate_trigger_blocks(
+        features, target_nodes, trigger_features, trigger_adjacency
+    )
+
+    csr = adjacency.tocsr()
+    if not csr.has_canonical_format:
+        csr = csr.copy()
+        csr.sum_duplicates()
+    n = csr.shape[0]
+    total_trigger_nodes = num_targets * trigger_size
+    new_n = n + total_trigger_nodes
+
+    new_features = np.vstack([np.asarray(features, dtype=np.float64),
+                              trigger_features.reshape(total_trigger_nodes, feature_dim)])
+
+    old_indptr = csr.indptr.astype(np.int64)
+    old_degrees = np.diff(old_indptr)
+    extra = np.zeros(n, dtype=np.int64)
+    np.add.at(extra, target_nodes, 1)
+
+    # Internal trigger edges: strict upper triangle mirrored (the reference
+    # path ignores the lower triangle too).
+    upper = np.triu(trigger_adjacency, k=1) != 0.0
+    symmetric = upper | np.transpose(upper, (0, 2, 1))
+    internal_counts = symmetric.reshape(total_trigger_nodes, trigger_size).sum(
+        axis=1, dtype=np.int64
+    )
+    trigger_counts = internal_counts.copy()
+    if num_targets:
+        trigger_counts[0::trigger_size] += 1  # first trigger row holds the host edge
+
+    counts = np.concatenate([old_degrees + extra, trigger_counts])
+    new_indptr = np.empty(new_n + 1, dtype=np.int64)
+    new_indptr[0] = 0
+    np.cumsum(counts, out=new_indptr[1:])
+    nnz = int(new_indptr[-1])
+    new_indices = np.empty(nnz, dtype=np.int64)
+    new_data = np.ones(nnz, dtype=np.float64)
+
+    # Host rows: existing entries keep their relative positions (every new
+    # column lies past n, so per-row sorted order is preserved by appending).
+    if csr.nnz:
+        entry_row = np.repeat(np.arange(n), old_degrees)
+        dest = np.arange(csr.nnz, dtype=np.int64) + (new_indptr[:n] - old_indptr[:n])[entry_row]
+        new_indices[dest] = csr.indices
+        new_data[dest] = csr.data
+
+    trigger_node_index = (n + np.arange(total_trigger_nodes, dtype=np.int64)).reshape(
+        num_targets, trigger_size
+    )
+    if num_targets:
+        sequence = np.arange(num_targets, dtype=np.int64)
+        block_start = n + sequence * trigger_size
+
+        # Host -> trigger connector columns.  A host poisoned twice gains two
+        # columns; stable-sort ranks keep them in ascending block order.
+        order = np.argsort(target_nodes, kind="stable")
+        sorted_targets = target_nodes[order]
+        group_start = np.flatnonzero(
+            np.r_[True, sorted_targets[1:] != sorted_targets[:-1]]
+        )
+        group_sizes = np.diff(np.r_[group_start, num_targets])
+        ranks = np.empty(num_targets, dtype=np.int64)
+        ranks[order] = sequence - np.repeat(group_start, group_sizes)
+        positions = new_indptr[target_nodes] + old_degrees[target_nodes] + ranks
+        new_indices[positions] = block_start
+
+        # Trigger rows: the host column (always the smallest: target < n)
+        # first, then internal columns, which np.nonzero yields row-major and
+        # hence already column-sorted.
+        new_indices[new_indptr[block_start]] = target_nodes
+        flat_rows, internal_cols = np.nonzero(
+            symmetric.reshape(total_trigger_nodes, trigger_size)
+        )
+        if flat_rows.size:
+            row_offsets = np.concatenate(
+                [np.zeros(1, dtype=np.int64), np.cumsum(internal_counts)[:-1]]
+            )
+            within_row = np.arange(flat_rows.size, dtype=np.int64) - row_offsets[flat_rows]
+            shift = (flat_rows % trigger_size == 0).astype(np.int64)
+            dest = new_indptr[n + flat_rows] + shift + within_row
+            new_indices[dest] = n + (flat_rows // trigger_size) * trigger_size + internal_cols
+
+    new_adjacency = sp.csr_matrix(
+        (new_data, new_indices, new_indptr), shape=(new_n, new_n)
+    )
+    # Construction guarantees per-row sorted, duplicate-free indices.
+    new_adjacency.has_canonical_format = True
+    return new_adjacency, new_features, trigger_node_index
+
+
+def attach_trigger_subgraph_coo(
+    adjacency: sp.spmatrix,
+    features: np.ndarray,
+    target_nodes: np.ndarray,
+    trigger_features: np.ndarray,
+    trigger_adjacency: np.ndarray,
+) -> Tuple[sp.csr_matrix, np.ndarray, np.ndarray]:
+    """Reference COO-rebuild implementation of :func:`attach_trigger_subgraph`.
+
+    This is the original (slow) path: build the trigger edges as a COO
+    matrix, embed the host graph in the enlarged shape and add the two.  It
+    is kept as the semantic reference that the CSR-surgery fast path is
+    pinned against in the equivalence tests and the hot-path benchmark.  The
+    one deviation from the seed implementation: host edge weights are no
+    longer clamped to 1 — the clamp defended against a host/trigger entry
+    overlap that cannot occur (trigger columns are brand new) and silently
+    rewrote rows outside any recorded delta, corrupting incremental
+    propagation over weighted graphs.
+    """
+    target_nodes = np.asarray(target_nodes, dtype=np.int64)
+    trigger_features = np.asarray(trigger_features, dtype=np.float64)
+    trigger_adjacency = np.asarray(trigger_adjacency, dtype=np.float64)
+    num_targets, trigger_size, feature_dim = _validate_trigger_blocks(
+        features, target_nodes, trigger_features, trigger_adjacency
+    )
 
     n = adjacency.shape[0]
     total_trigger_nodes = num_targets * trigger_size
@@ -150,7 +292,6 @@ def attach_trigger_subgraph(
     trigger_edges = sp.csr_matrix((data, (rows, cols)), shape=(new_n, new_n))
     expanded = _expand(adjacency, new_n)
     new_adjacency = (expanded + trigger_edges).tocsr()
-    new_adjacency.data = np.minimum(new_adjacency.data, 1.0)
     return new_adjacency, new_features, trigger_node_index
 
 

@@ -53,6 +53,16 @@ class MultiHeadSelfAttention(Module):
         concatenated = Tensor.concatenate(head_outputs, axis=1)
         return self.output(concatenated)
 
+    def forward_per_token(self, x: Tensor) -> Tensor:
+        """Attention when every row is its own length-1 sequence.
+
+        A single token attends only to itself with weight exactly 1 (softmax
+        of a 1x1 score), so the block reduces to ``output(value(x))`` applied
+        row-wise — bit-identical to calling :meth:`forward` on each row
+        separately, without the quadratic cross-row attention.
+        """
+        return self.output(self.value(x))
+
 
 class TransformerEncoderLayer(Module):
     """One encoder block: self-attention + feed-forward, both residual."""
@@ -74,3 +84,8 @@ class TransformerEncoderLayer(Module):
         attended = x + self.attention(x)
         transformed = attended + self.ff2(F.relu(self.ff1(attended)))
         return transformed
+
+    def forward_per_token(self, x: Tensor) -> Tensor:
+        """Row-independent encoder pass: each row is its own length-1 sequence."""
+        attended = x + self.attention.forward_per_token(x)
+        return attended + self.ff2(F.relu(self.ff1(attended)))

@@ -1,0 +1,386 @@
+"""Equivalence tests pinning every attack-loop fast path to its slow reference.
+
+Three fast paths landed with the loop-free attack epoch; each is pinned here
+to the reference implementation it replaced, at ``atol=1e-10``:
+
+* ``batched_local_trigger_loss`` vs the per-node ``local_trigger_loss`` —
+  same loss *and* same parameter gradients;
+* CSR-surgery ``attach_trigger_subgraph`` vs the COO-rebuild reference —
+  identical sparse matrices (indptr / indices / data);
+* ``incremental_gcn_normalize`` (and its ``PropagationCache`` integration)
+  vs a full ``gcn_normalize`` — under single-row and multi-row deltas.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.attack.trigger import (
+    TriggerConfig,
+    TriggerGenerator,
+    UniversalTriggerGenerator,
+    batched_local_trigger_loss,
+    local_trigger_loss,
+)
+from repro.autograd import Tensor
+from repro.graph.cache import PropagationCache
+from repro.graph.data import GraphData
+from repro.graph.generators import stochastic_block_model
+from repro.graph.normalize import (
+    gcn_normalize,
+    incremental_gcn_normalize,
+    self_loop_degrees,
+)
+from repro.graph.subgraph import attach_trigger_subgraph, attach_trigger_subgraph_coo
+from repro.utils.seed import new_rng
+
+ATOL = 1e-10
+
+
+def sparse_max_abs_diff(a: sp.spmatrix, b: sp.spmatrix) -> float:
+    diff = (a - b).tocsr()
+    return float(np.abs(diff.data).max()) if diff.nnz else 0.0
+
+
+# --------------------------------------------------------------------- #
+# Batched vs per-node trigger loss
+# --------------------------------------------------------------------- #
+class TestBatchedTriggerLossEquivalence:
+    def _reference(self, nodes, graph, inputs, generator, weight, **kwargs):
+        total = None
+        for node in nodes:
+            loss = local_trigger_loss(
+                int(node), graph, inputs, generator, weight, **kwargs
+            )
+            total = loss if total is None else total + loss
+        return total * (1.0 / len(nodes))
+
+    @pytest.mark.parametrize("generator_cls", [TriggerGenerator, UniversalTriggerGenerator])
+    @pytest.mark.parametrize("max_neighbors", [2, 10])
+    def test_loss_and_gradients_match(self, small_graph, generator_cls, max_neighbors):
+        generator = generator_cls(
+            small_graph.num_features, new_rng(0), TriggerConfig(trigger_size=3, hidden=16)
+        )
+        generator.calibrate(small_graph.features)
+        inputs = generator.encode_inputs(small_graph.adjacency, small_graph.features)
+        weight = Tensor(
+            new_rng(1).normal(size=(small_graph.num_features, small_graph.num_classes))
+        )
+        nodes = np.array([0, 5, 17, 40, 88])
+        kwargs = dict(target_class=1, max_neighbors=max_neighbors, num_hops=2)
+
+        for parameter in generator.parameters():
+            parameter.zero_grad()
+        reference = self._reference(nodes, small_graph, inputs, generator, weight, **kwargs)
+        reference.backward()
+        reference_grads = [p.grad.copy() for p in generator.parameters()]
+
+        for parameter in generator.parameters():
+            parameter.zero_grad()
+        batched = batched_local_trigger_loss(
+            nodes, small_graph, inputs, generator, weight, **kwargs
+        )
+        batched.backward()
+
+        assert abs(batched.item() - reference.item()) <= ATOL
+        for reference_grad, parameter in zip(reference_grads, generator.parameters()):
+            assert parameter.grad is not None
+            np.testing.assert_allclose(parameter.grad, reference_grad, atol=ATOL)
+
+    @pytest.mark.parametrize("encoder", ["mlp", "gcn", "transformer"])
+    def test_all_encoders_match(self, small_graph, encoder):
+        generator = TriggerGenerator(
+            small_graph.num_features,
+            new_rng(2),
+            TriggerConfig(trigger_size=2, hidden=16, encoder=encoder),
+        )
+        generator.calibrate(small_graph.features)
+        inputs = generator.encode_inputs(small_graph.adjacency, small_graph.features)
+        weight = Tensor(
+            new_rng(3).normal(size=(small_graph.num_features, small_graph.num_classes))
+        )
+        nodes = np.array([1, 2, 30])
+        kwargs = dict(target_class=0, max_neighbors=4, num_hops=2)
+        reference = self._reference(nodes, small_graph, inputs, generator, weight, **kwargs)
+        batched = batched_local_trigger_loss(
+            nodes, small_graph, inputs, generator, weight, **kwargs
+        )
+        assert abs(batched.item() - reference.item()) <= ATOL
+
+    def test_isolated_node_in_batch(self, small_graph):
+        adjacency = small_graph.adjacency.tolil()
+        adjacency[0, :] = 0
+        adjacency[:, 0] = 0
+        isolated = small_graph.with_(adjacency=sp.csr_matrix(adjacency))
+        generator = TriggerGenerator(
+            isolated.num_features, new_rng(4), TriggerConfig(trigger_size=2, hidden=16)
+        )
+        inputs = generator.encode_inputs(isolated.adjacency, isolated.features)
+        weight = Tensor(
+            new_rng(5).normal(size=(isolated.num_features, isolated.num_classes))
+        )
+        nodes = np.array([0, 7, 20])  # node 0 is isolated -> blocks of mixed size
+        kwargs = dict(target_class=0, max_neighbors=10, num_hops=2)
+        reference = self._reference(nodes, isolated, inputs, generator, weight, **kwargs)
+        batched = batched_local_trigger_loss(
+            nodes, isolated, inputs, generator, weight, **kwargs
+        )
+        assert abs(batched.item() - reference.item()) <= ATOL
+
+    def test_single_node_batch_matches_reference(self, small_graph):
+        generator = TriggerGenerator(
+            small_graph.num_features, new_rng(6), TriggerConfig(trigger_size=2, hidden=16)
+        )
+        inputs = generator.encode_inputs(small_graph.adjacency, small_graph.features)
+        weight = Tensor(
+            new_rng(7).normal(size=(small_graph.num_features, small_graph.num_classes))
+        )
+        kwargs = dict(target_class=2, max_neighbors=10, num_hops=2)
+        reference = local_trigger_loss(
+            3, small_graph, inputs, generator, weight, **kwargs
+        )
+        batched = batched_local_trigger_loss(
+            np.array([3]), small_graph, inputs, generator, weight, **kwargs
+        )
+        assert abs(batched.item() - reference.item()) <= ATOL
+
+
+# --------------------------------------------------------------------- #
+# CSR surgery vs COO rebuild
+# --------------------------------------------------------------------- #
+class TestAttachmentEquivalence:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_identical_sparse_matrices(self, seed):
+        rng = new_rng(seed)
+        adjacency = stochastic_block_model(
+            rng.integers(6, 25, size=3), p_in=0.3, p_out=0.05, rng=rng
+        )
+        n = adjacency.shape[0]
+        num_features = int(rng.integers(3, 9))
+        features = rng.normal(size=(n, num_features))
+        num_targets = int(rng.integers(1, 6))
+        trigger_size = int(rng.integers(1, 5))
+        targets = rng.integers(0, n, size=num_targets)  # duplicates allowed
+        trigger_features = rng.normal(size=(num_targets, trigger_size, num_features))
+        trigger_adjacency = (
+            rng.random((num_targets, trigger_size, trigger_size)) < 0.4
+        ).astype(np.float64)
+
+        fast_adj, fast_feat, fast_map = attach_trigger_subgraph(
+            adjacency, features, targets, trigger_features, trigger_adjacency
+        )
+        slow_adj, slow_feat, slow_map = attach_trigger_subgraph_coo(
+            adjacency, features, targets, trigger_features, trigger_adjacency
+        )
+        np.testing.assert_array_equal(
+            fast_adj.indptr.astype(np.int64), slow_adj.indptr.astype(np.int64)
+        )
+        np.testing.assert_array_equal(
+            fast_adj.indices.astype(np.int64), slow_adj.indices.astype(np.int64)
+        )
+        np.testing.assert_array_equal(fast_adj.data, slow_adj.data)
+        np.testing.assert_array_equal(fast_feat, slow_feat)
+        np.testing.assert_array_equal(fast_map, slow_map)
+
+    def test_weighted_host_edges_preserved_identically(self):
+        """Host weights survive attachment (clamping them would silently
+        rewrite rows outside any recorded delta)."""
+        adjacency = sp.csr_matrix(np.array([[0.0, 2.5], [2.5, 0.0]]))
+        features = np.ones((2, 3))
+        trigger_features = np.ones((1, 2, 3))
+        trigger_adjacency = np.ones((1, 2, 2))
+        fast_adj, _, _ = attach_trigger_subgraph(
+            adjacency, features, np.array([0]), trigger_features, trigger_adjacency
+        )
+        slow_adj, _, _ = attach_trigger_subgraph_coo(
+            adjacency, features, np.array([0]), trigger_features, trigger_adjacency
+        )
+        assert (fast_adj != slow_adj).nnz == 0
+        assert fast_adj[0, 1] == 2.5 and fast_adj[1, 0] == 2.5
+
+    def test_weighted_host_keeps_delta_contract_through_cache(self):
+        """End-to-end: attaching triggers to a *weighted* host graph must not
+        perturb unchanged rows, so cached incremental propagation and
+        renormalisation stay exact against full recomputes."""
+        from repro.graph.propagation import sgc_precompute
+        from repro.graph.splits import SplitIndices
+
+        rng = new_rng(31)
+        adjacency = stochastic_block_model(
+            np.array([15, 15]), p_in=0.3, p_out=0.05, rng=rng
+        ).tolil()
+        adjacency[2, 3] = 3.0  # weighted edge between two non-target nodes
+        adjacency[3, 2] = 3.0
+        adjacency = sp.csr_matrix(adjacency)
+        n = adjacency.shape[0]
+        graph = GraphData(
+            adjacency=adjacency,
+            features=rng.normal(size=(n, 6)),
+            labels=np.zeros(n, dtype=np.int64),
+            split=SplitIndices(
+                train=np.arange(n), val=np.zeros(0, np.int64), test=np.zeros(0, np.int64)
+            ),
+        )
+        cache = PropagationCache()
+        cache.propagated(graph, 2)  # resident base chain + operator
+        targets = np.array([10, 20])
+        new_adj, new_feat, _ = attach_trigger_subgraph(
+            graph.adjacency, graph.features, targets,
+            rng.normal(size=(2, 2, 6)), np.ones((2, 2, 2)),
+        )
+        poisoned = graph.with_delta(
+            targets,
+            adjacency=new_adj,
+            features=new_feat,
+            labels=np.zeros(new_adj.shape[0], dtype=np.int64),
+        )
+        assert (
+            sparse_max_abs_diff(cache.normalized(poisoned), gcn_normalize(new_adj))
+            <= ATOL
+        )
+        np.testing.assert_allclose(
+            cache.propagated(poisoned, 2), sgc_precompute(new_adj, new_feat, 2), atol=ATOL
+        )
+
+
+# --------------------------------------------------------------------- #
+# Incremental vs full gcn_normalize
+# --------------------------------------------------------------------- #
+def _random_graph(seed: int) -> sp.csr_matrix:
+    rng = new_rng(seed)
+    return stochastic_block_model(
+        rng.integers(10, 30, size=3), p_in=0.3, p_out=0.05, rng=rng
+    )
+
+
+class TestIncrementalNormalizeEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_single_row_delta(self, seed):
+        adjacency = _random_graph(seed)
+        n = adjacency.shape[0]
+        base_normalized = gcn_normalize(adjacency)
+        base_degrees = self_loop_degrees(adjacency)
+        # Flip one edge (i, j): exactly the rows {i, j} change.
+        rng = new_rng(seed + 100)
+        i, j = 0, int(rng.integers(1, n))
+        lil = adjacency.tolil()
+        value = 0.0 if lil[i, j] else 1.0
+        lil[i, j] = value
+        lil[j, i] = value
+        derived = sp.csr_matrix(lil)
+        incremental, degrees = incremental_gcn_normalize(
+            derived, base_normalized, base_degrees, np.array([i, j])
+        )
+        full = gcn_normalize(derived)
+        assert sparse_max_abs_diff(incremental, full) <= ATOL
+        np.testing.assert_allclose(degrees, self_loop_degrees(derived), atol=ATOL)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_multi_row_delta_with_appended_rows(self, seed):
+        adjacency = _random_graph(seed)
+        n = adjacency.shape[0]
+        rng = new_rng(seed + 200)
+        features = rng.normal(size=(n, 4))
+        targets = np.unique(rng.integers(0, n, size=4))
+        trigger_features = rng.normal(size=(targets.size, 3, 4))
+        trigger_adjacency = (rng.random((targets.size, 3, 3)) < 0.5).astype(np.float64)
+        derived, _, _ = attach_trigger_subgraph(
+            adjacency, features, targets, trigger_features, trigger_adjacency
+        )
+        incremental, degrees = incremental_gcn_normalize(
+            derived, gcn_normalize(adjacency), self_loop_degrees(adjacency), targets
+        )
+        full = gcn_normalize(derived)
+        assert sparse_max_abs_diff(incremental, full) <= ATOL
+        np.testing.assert_allclose(degrees, self_loop_degrees(derived), atol=ATOL)
+
+    def test_nonpositive_degree_rows_match_full_recompute(self):
+        """Negative edge weights can drive a self-loop degree to zero.
+
+        ``gcn_normalize`` zeroes such rows instead of emitting NaNs; the
+        incremental path must do the same — both when a changed row's *new*
+        degree collapses and when a collapsed base row's degree recovers.
+        """
+        adjacency = sp.csr_matrix(
+            np.array([[0.0, 1.0, 0.0], [1.0, 0.0, 1.0], [0.0, 1.0, 0.0]])
+        )
+        base_normalized = gcn_normalize(adjacency)
+        base_degrees = self_loop_degrees(adjacency)
+        collapsed = adjacency.tolil()
+        collapsed[0, 1] = -1.0  # self-loop-inclusive degree of row 0 becomes 0
+        collapsed[1, 0] = -1.0
+        collapsed = sp.csr_matrix(collapsed)
+        incremental, degrees = incremental_gcn_normalize(
+            collapsed, base_normalized, base_degrees, np.array([0, 1])
+        )
+        full = gcn_normalize(collapsed)
+        assert np.all(np.isfinite(incremental.data))
+        assert sparse_max_abs_diff(incremental, full) <= ATOL
+        # And the reverse delta: the collapsed row recovers a positive degree.
+        recovered, degrees_back = incremental_gcn_normalize(
+            adjacency, incremental, degrees, np.array([0, 1])
+        )
+        assert sparse_max_abs_diff(recovered, base_normalized) <= ATOL
+        np.testing.assert_allclose(degrees_back, base_degrees, atol=ATOL)
+
+    def test_degree_recovery_resurrects_unchanged_neighbor_entries(self):
+        """A recovered column must reappear in *unchanged* adjacent rows.
+
+        Base: node 1 has self-loop degree 0 (negative weight on edge (1, 2)),
+        so column 1 of the base operator is all zeros — including in row 0,
+        which the delta does not touch.  Removing edge (1, 2) recovers node
+        1's degree; the fix-up cannot rescale a missing entry, so row 0 must
+        be folded into the full-recompute set.
+        """
+        base = sp.csr_matrix(
+            np.array([[0.0, 1.0, 0.0], [1.0, 0.0, -2.0], [0.0, -2.0, 0.0]])
+        )
+        base_normalized = gcn_normalize(base)
+        base_degrees = self_loop_degrees(base)
+        derived = sp.csr_matrix(
+            np.array([[0.0, 1.0, 0.0], [1.0, 0.0, 0.0], [0.0, 0.0, 0.0]])
+        )
+        # Per the GraphDelta contract row 0's incident edges are unchanged,
+        # so only rows 1 and 2 are listed.
+        incremental, degrees = incremental_gcn_normalize(
+            derived, base_normalized, base_degrees, np.array([1, 2])
+        )
+        full = gcn_normalize(derived)
+        assert sparse_max_abs_diff(incremental, full) <= ATOL
+        np.testing.assert_allclose(degrees, self_loop_degrees(derived), atol=ATOL)
+        assert abs(incremental[0, 1] - 0.5) <= ATOL  # the resurrected entry
+
+    def test_cache_uses_incremental_path_and_stays_exact(self, small_graph):
+        cache = PropagationCache()
+        cache.normalized(small_graph)  # residence for the base operator
+        rng = new_rng(9)
+        targets = np.array([3, 40, 77])
+        trigger_features = rng.normal(size=(3, 2, small_graph.num_features))
+        trigger_adjacency = np.ones((3, 2, 2))
+        new_adj, new_feat, _ = attach_trigger_subgraph(
+            small_graph.adjacency, small_graph.features, targets,
+            trigger_features, trigger_adjacency,
+        )
+        labels = np.concatenate([small_graph.labels, np.zeros(6, dtype=np.int64)])
+        poisoned = small_graph.with_delta(
+            targets, adjacency=new_adj, features=new_feat, labels=labels
+        )
+        normalized = cache.normalized(poisoned)
+        assert cache.stats()["incremental_normalizations"] == 1
+        assert sparse_max_abs_diff(normalized, gcn_normalize(new_adj)) <= ATOL
+        # And the propagated features stay exact on top of it.
+        from repro.graph.propagation import sgc_precompute
+
+        propagated = cache.propagated(poisoned, 2)
+        np.testing.assert_allclose(
+            propagated, sgc_precompute(new_adj, new_feat, 2), atol=ATOL
+        )
+
+    def test_metadata_variant_shares_base_operator(self, small_graph):
+        cache = PropagationCache()
+        base_normalized = cache.normalized(small_graph)
+        variant = small_graph.with_(labels=small_graph.labels.copy())
+        assert cache.normalized(variant) is base_normalized
+        assert cache.stats()["incremental_normalizations"] == 0
