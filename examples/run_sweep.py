@@ -1,0 +1,69 @@
+"""Declarative grid sweeps: attack × condenser × defense as one JSON-able spec.
+
+The paper's headline results are grids — every condenser × dataset ×
+poison-ratio cell of Table II, plus the defense ablations of Table IV.  With
+the declarative API a grid is *data*: a base :class:`~repro.api.ExperimentSpec`
+plus cartesian axes, expanded and executed by
+:func:`~repro.api.run_sweep`.  This script runs the CI smoke grid
+(2 condensers × 2 attacks × 1 defense on the ``tiny`` dataset), prints a
+Table-II-style summary and writes one JSON record per cell.
+
+The same sweep runs from the command line::
+
+    python -m repro.cli sweep --spec examples/sweep.json --out results.jsonl
+
+Run with::
+
+    python examples/run_sweep.py [--out results.jsonl]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.api import SweepSpec, run_sweep
+from repro.evaluation.reporting import format_percent, format_table
+
+SWEEP_FILE = Path(__file__).resolve().parent / "sweep.json"
+
+
+def build_sweep() -> SweepSpec:
+    """Load the smoke sweep; see the module docstring of repro.api for the schema."""
+    return SweepSpec.from_json(SWEEP_FILE.read_text())
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=None, help="optional results.jsonl path")
+    args = parser.parse_args(argv)
+
+    sweep = build_sweep()
+    print(f"sweep {sweep.name!r}: {sweep.num_cells} cells over axes {list(sweep.axes)}")
+    records = run_sweep(sweep)
+
+    rows = []
+    for record in records:
+        rows.append(
+            {
+                "condenser": record.spec.condenser.name,
+                "attack": record.spec.attack.name,
+                "defense": record.spec.defense.name,
+                "C-CTA %": format_percent(record.clean_cta),
+                "CTA %": format_percent(record.attack_cta),
+                "ASR %": format_percent(record.attack_asr),
+                "D-ASR %": format_percent(record.defense_asr),
+            }
+        )
+    print(format_table(rows))
+
+    if args.out:
+        with open(args.out, "w") as sink:
+            for record in records:
+                sink.write(json.dumps(record.to_dict()) + "\n")
+        print(f"wrote {len(records)} records to {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,409 @@
+"""Execute :class:`~repro.api.spec.ExperimentSpec` cells and sweeps.
+
+:func:`run_experiment` resolves every component of a spec through the
+registries, runs the full threat-model pipeline (clean condensation baseline,
+optional attack, optional defense) and returns a structured
+:class:`RunRecord`.  :func:`run_sweep` executes a grid: cells that name the
+same dataset share one loaded :class:`~repro.graph.data.GraphData` (and with
+it the process-wide :class:`~repro.graph.cache.PropagationCache`, so base
+propagations are paid once per dataset, not once per cell), while every
+random stream is derived from the cell's own seed — results are bit-identical
+whether the grid runs in canonical or shuffled order.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field, fields
+from typing import Any, Callable, Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.api.spec import ExperimentSpec, SweepSpec
+from repro.attack.naive import NaivePoison
+from repro.condensation.base import CondensedGraph, Condenser
+from repro.datasets import load_dataset
+from repro.defenses.detection import remove_flagged_nodes
+from repro.evaluation.metrics import attack_success_rate
+from repro.evaluation.pipeline import (
+    EvaluationConfig,
+    Predictor,
+    evaluate_backdoor,
+    evaluate_clean,
+    predict_on_graph,
+    train_model_on_condensed,
+)
+from repro.exceptions import ConfigurationError
+from repro.graph.data import GraphData
+from repro.registry import ATTACKS, CONDENSERS, DEFENSES, MODELS, bind_config
+from repro.utils.logging import get_logger
+from repro.utils.seed import spawn_rngs
+
+logger = get_logger("api.runner")
+
+AsrEvaluator = Callable[[Predictor], float]
+
+
+@dataclass
+class RunRecord:
+    """Structured result of one experiment cell.
+
+    ``clean_*`` metrics come from the clean-condensation baseline, ``attack_*``
+    from the attacked condensation (NaN when the spec has no attack), and
+    ``defense_*`` from re-evaluating the defended artefact, with deltas taken
+    against the undefended reference (the attacked numbers when an attack ran,
+    the clean ones otherwise).  ``spec`` echoes the fully resolved spec, so a
+    record is self-describing in a ``results.jsonl`` stream.
+    """
+
+    spec: ExperimentSpec
+    cell_index: int | None = None
+    clean_cta: float = float("nan")
+    clean_asr: float = float("nan")
+    attack_cta: float = float("nan")
+    attack_asr: float = float("nan")
+    defense_cta: float = float("nan")
+    defense_asr: float = float("nan")
+    defense_cta_delta: float = float("nan")
+    defense_asr_delta: float = float("nan")
+    poisoned_nodes: int = 0
+    condensed_nodes: int = 0
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    #: Metric fields serialised with NaN ↔ null conversion.
+    _METRIC_FIELDS = (
+        "clean_cta",
+        "clean_asr",
+        "attack_cta",
+        "attack_asr",
+        "defense_cta",
+        "defense_asr",
+        "defense_cta_delta",
+        "defense_asr_delta",
+    )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Strict-JSON flat representation (one line of results.jsonl).
+
+        Unset metrics serialise as ``null`` rather than the non-standard
+        ``NaN`` token, so the output stays parseable by ``jq`` /
+        ``JSON.parse``; :meth:`from_dict` restores them to NaN.
+        """
+        payload: Dict[str, Any] = {
+            "spec": self.spec.to_dict(),
+            "cell_index": self.cell_index,
+        }
+        for name in self._METRIC_FIELDS:
+            value = getattr(self, name)
+            payload[name] = None if math.isnan(value) else value
+        payload["poisoned_nodes"] = self.poisoned_nodes
+        payload["condensed_nodes"] = self.condensed_nodes
+        payload["timings"] = dict(self.timings)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunRecord":
+        data = dict(payload)
+        data["spec"] = ExperimentSpec.from_dict(data["spec"])
+        for name in cls._METRIC_FIELDS:
+            if data.get(name) is None:
+                data[name] = float("nan")
+        return cls(**data)
+
+
+class _Stopwatch:
+    """Accumulates named wall-clock timings."""
+
+    def __init__(self) -> None:
+        self.timings: Dict[str, float] = {}
+
+    def measure(self, name: str, fn: Callable[[], Any]) -> Any:
+        start = time.perf_counter()
+        result = fn()
+        self.timings[name] = self.timings.get(name, 0.0) + time.perf_counter() - start
+        return result
+
+
+# ------------------------------------------------------------------ #
+# Component resolution
+# ------------------------------------------------------------------ #
+def _resolve_evaluation(spec: ExperimentSpec) -> EvaluationConfig:
+    """Merge the model and evaluation components into one EvaluationConfig."""
+    if spec.model.name is not None:
+        MODELS.canonical(spec.model.name)  # fail fast with the registry's message
+    overrides: Dict[str, Any] = {"architecture": spec.model.name}
+    overrides.update(spec.model.overrides)
+    overrides.update(spec.evaluation.overrides)
+    return bind_config(EvaluationConfig, overrides)
+
+
+def _resolve_condenser(spec: ExperimentSpec) -> Condenser:
+    return CONDENSERS.build(spec.condenser.name, **spec.condenser.overrides)
+
+
+def _resolve_attack(spec: ExperimentSpec):
+    """Build the attack, folding the trigger component into its config."""
+    entry = ATTACKS.get(spec.attack.name)
+    overrides: Dict[str, Any] = {}
+    trigger_overrides = dict(spec.trigger.overrides)
+    if spec.trigger.name is not None:
+        trigger_overrides.setdefault("encoder", spec.trigger.name)
+    if trigger_overrides:
+        config_fields = (
+            {f.name for f in fields(entry.config_cls)}
+            if entry.config_cls is not None
+            else set()
+        )
+        if "trigger" in config_fields:
+            for key, value in trigger_overrides.items():
+                overrides[f"trigger.{key}"] = value
+        else:
+            logger.debug(
+                "attack %s has no trigger config; ignoring trigger overrides %s",
+                spec.attack.name,
+                sorted(trigger_overrides),
+            )
+    overrides.update(spec.attack.overrides)
+    return ATTACKS.build(spec.attack.name, **overrides)
+
+
+def _dataset_seed(spec: ExperimentSpec) -> int:
+    """Validate the dataset overrides (only ``seed``) and return the seed."""
+    overrides = dict(spec.dataset.overrides)
+    seed = overrides.pop("seed", 0)
+    if overrides:
+        raise ConfigurationError(
+            f"dataset overrides support only 'seed', got {sorted(overrides)}"
+        )
+    return int(seed)
+
+
+def _load_graph(spec: ExperimentSpec) -> GraphData:
+    return load_dataset(spec.dataset.name, seed=_dataset_seed(spec))
+
+
+def dataset_cache_key(spec: ExperimentSpec) -> Tuple[str, int]:
+    """Key under which :func:`run_sweep` shares loaded datasets across cells."""
+    return (spec.dataset.name.lower(), _dataset_seed(spec))
+
+
+# ------------------------------------------------------------------ #
+# Attack execution
+# ------------------------------------------------------------------ #
+def _execute_attack(
+    attack, graph: GraphData, condenser: Condenser, rng: np.random.Generator
+) -> Tuple[CondensedGraph, AsrEvaluator, int]:
+    """Run any registered attack; normalise its result shape.
+
+    BGC-style attacks return a :class:`~repro.attack.bgc.BGCResult` whose
+    node-adaptive generator drives :func:`evaluate_backdoor`;
+    :class:`NaivePoison` returns ``(condensed, universal_pattern)``, evaluated
+    by blending the pattern into the test-node features.
+    """
+    result = attack.run(graph, condenser, rng)
+    if isinstance(result, tuple):
+        condensed, pattern = result
+        target_class = int(getattr(attack.config, "target_class", 0))
+
+        def universal_asr(model: Predictor) -> float:
+            triggered = NaivePoison.attach_universal_trigger(
+                graph, graph.split.test, pattern
+            )
+            predictions = predict_on_graph(model, triggered)
+            return attack_success_rate(
+                predictions, graph.labels, graph.split.test, target_class
+            )
+
+        poisoned = int(condensed.metadata.get("poisoned_nodes", 0))
+        return condensed, universal_asr, poisoned
+
+    generator = result.generator
+    target_class = int(result.target_class)
+
+    def generator_asr(model: Predictor) -> float:
+        return evaluate_backdoor(model, graph, generator, target_class)
+
+    return result.condensed, generator_asr, int(result.poisoned_nodes.size)
+
+
+# ------------------------------------------------------------------ #
+# Defense application
+# ------------------------------------------------------------------ #
+def _apply_defense(
+    defense,
+    condensed: CondensedGraph,
+    model: Predictor,
+    graph: GraphData,
+    evaluation: EvaluationConfig,
+    rng: np.random.Generator,
+) -> Predictor:
+    """Apply a registered defense and return the defended predictor.
+
+    Three duck-typed protocols cover the registered families: dataset-level
+    defenses expose ``apply_to_condensed`` (retrain on the sanitised graph),
+    detectors expose ``detect`` (drop flagged nodes, retrain), and model-level
+    defenses expose ``wrap`` (smooth the already-trained model).
+    """
+    if hasattr(defense, "apply_to_condensed"):
+        defended = defense.apply_to_condensed(condensed)
+        return train_model_on_condensed(defended, graph, evaluation, rng)
+    if hasattr(defense, "detect"):
+        report = defense.detect(condensed)
+        defended = remove_flagged_nodes(condensed, report)
+        return train_model_on_condensed(defended, graph, evaluation, rng)
+    if hasattr(defense, "wrap"):
+        return defense.wrap(model)
+    raise ConfigurationError(
+        f"defense {type(defense).__name__} implements none of "
+        "apply_to_condensed/detect/wrap"
+    )
+
+
+# ------------------------------------------------------------------ #
+# Entry points
+# ------------------------------------------------------------------ #
+def run_experiment(
+    spec: ExperimentSpec,
+    *,
+    graph: GraphData | None = None,
+    cell_index: int | None = None,
+) -> RunRecord:
+    """Execute one spec end-to-end and return its :class:`RunRecord`.
+
+    ``graph`` lets a sweep share the loaded dataset across cells; when given
+    it must be the dataset the spec names.  All five random streams (clean
+    condensation, attack, victim training, clean training, defense) are
+    spawned from ``spec.seed`` alone, so a cell's record never depends on
+    what else ran in the process.
+    """
+    if not isinstance(spec, ExperimentSpec):
+        spec = ExperimentSpec.from_dict(spec)
+    spec.validate_runnable()
+    # Build every component before the (potentially expensive) dataset
+    # generation: a bad name or override typo anywhere in the spec is
+    # rejected at near-zero cost — and independently of whether a sweep
+    # already shares the graph.  Construction is cheap (config binding only).
+    evaluation = _resolve_evaluation(spec)
+    _dataset_seed(spec)
+    condenser = _resolve_condenser(spec)
+    attack = _resolve_attack(spec) if spec.attack.is_set else None
+    defense = (
+        DEFENSES.build(spec.defense.name, **spec.defense.overrides)
+        if spec.defense.is_set
+        else None
+    )
+    watch = _Stopwatch()
+    if graph is None:
+        graph = watch.measure("load_dataset", lambda: _load_graph(spec))
+    elif graph.name.lower() != spec.dataset.name.lower():
+        raise ConfigurationError(
+            f"shared graph {graph.name!r} does not match spec dataset {spec.dataset.name!r}"
+        )
+    clean_rng, attack_rng, victim_rng, eval_rng, defense_rng = spawn_rngs(spec.seed, 5)
+
+    record = RunRecord(spec=spec, cell_index=cell_index)
+
+    asr_evaluator: AsrEvaluator | None = None
+    attacked_model: Predictor | None = None
+    attacked_condensed: CondensedGraph | None = None
+    if attack is not None:
+        attacked_condensed, asr_evaluator, poisoned = watch.measure(
+            "attack", lambda: _execute_attack(attack, graph, condenser, attack_rng)
+        )
+        record.poisoned_nodes = poisoned
+        attacked_model = watch.measure(
+            "train_victim",
+            lambda: train_model_on_condensed(attacked_condensed, graph, evaluation, victim_rng),
+        )
+        record.attack_cta = watch.measure(
+            "evaluate", lambda: evaluate_clean(attacked_model, graph)
+        )
+        record.attack_asr = watch.measure("evaluate", lambda: asr_evaluator(attacked_model))
+
+    # The attack leg consumed `condenser` (condensers are stateful), so the
+    # clean baseline gets a fresh instance with identical configuration.
+    clean_condenser = _resolve_condenser(spec) if attack is not None else condenser
+    clean_condensed = watch.measure(
+        "condense", lambda: clean_condenser.condense(graph, clean_rng)
+    )
+    record.condensed_nodes = clean_condensed.num_nodes
+    clean_model = watch.measure(
+        "train_clean",
+        lambda: train_model_on_condensed(clean_condensed, graph, evaluation, eval_rng),
+    )
+    record.clean_cta = watch.measure("evaluate", lambda: evaluate_clean(clean_model, graph))
+    if asr_evaluator is not None:
+        record.clean_asr = watch.measure("evaluate", lambda: asr_evaluator(clean_model))
+
+    if defense is not None:
+        target_condensed = attacked_condensed if attacked_condensed is not None else clean_condensed
+        target_model = attacked_model if attacked_model is not None else clean_model
+        defended_model = watch.measure(
+            "defense",
+            lambda: _apply_defense(
+                defense, target_condensed, target_model, graph, evaluation, defense_rng
+            ),
+        )
+        record.defense_cta = watch.measure(
+            "evaluate", lambda: evaluate_clean(defended_model, graph)
+        )
+        reference_cta = record.attack_cta if spec.attack.is_set else record.clean_cta
+        record.defense_cta_delta = record.defense_cta - reference_cta
+        if asr_evaluator is not None:
+            record.defense_asr = watch.measure(
+                "evaluate", lambda: asr_evaluator(defended_model)
+            )
+            record.defense_asr_delta = record.defense_asr - record.attack_asr
+
+    record.timings = watch.timings
+    return record
+
+
+def run_sweep(
+    sweep: SweepSpec,
+    *,
+    order: List[int] | None = None,
+    on_record: Callable[[RunRecord], None] | None = None,
+) -> List[RunRecord]:
+    """Execute every cell of a sweep; records return in canonical grid order.
+
+    ``order`` optionally permutes *execution* order (used by the determinism
+    tests); it never changes the returned ordering or any cell's result,
+    because per-cell seeds are fixed at expansion time.  ``on_record`` is
+    invoked after each cell completes (in execution order) — the CLI uses it
+    to stream ``results.jsonl``.  Cells naming the same dataset (and dataset
+    seed) share one loaded graph, and through it the shared
+    :class:`~repro.graph.cache.PropagationCache`.
+    """
+    if not isinstance(sweep, SweepSpec):
+        sweep = SweepSpec.from_dict(sweep)
+    specs = sweep.expand()
+    if order is None:
+        order = list(range(len(specs)))
+    elif sorted(order) != list(range(len(specs))):
+        raise ConfigurationError(
+            f"order must be a permutation of range({len(specs)}), got {order!r}"
+        )
+    graphs: Dict[Tuple[str, int], GraphData] = {}
+    records: List[RunRecord | None] = [None] * len(specs)
+    for position, index in enumerate(order):
+        spec = specs[index]
+        key = dataset_cache_key(spec)
+        if key not in graphs:
+            graphs[key] = _load_graph(spec)
+        logger.info(
+            "sweep %s: cell %d/%d (grid index %d): %s/%s/%s",
+            sweep.name,
+            position + 1,
+            len(specs),
+            index,
+            spec.dataset.name,
+            spec.condenser.name,
+            spec.attack.name or "clean",
+        )
+        record = run_experiment(spec, graph=graphs[key], cell_index=index)
+        records[index] = record
+        if on_record is not None:
+            on_record(record)
+    return records  # type: ignore[return-value]

@@ -13,7 +13,7 @@ gap Figure 4 illustrates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 
@@ -33,6 +33,7 @@ from repro.graph.data import GraphData
 from repro.graph.normalize import dense_gcn_normalize
 from repro.graph.splits import SplitIndices
 from repro.graph.subgraph import attach_trigger_subgraph
+from repro.registry import ATTACKS
 from repro.utils.logging import get_logger
 
 logger = get_logger("attack.baselines.doorping")
@@ -43,8 +44,8 @@ class DoorpingConfig:
     """Hyperparameters of the DOORPING adaptation."""
 
     target_class: int = 0
-    poison_ratio: Optional[float] = 0.1
-    poison_number: Optional[int] = None
+    poison_ratio: float | None = 0.1
+    poison_number: int | None = None
     epochs: int = 30
     trigger_steps: int = 2
     update_batch_size: int = 12
@@ -62,10 +63,11 @@ class DoorpingConfig:
             raise AttackError("epochs must be >= 1")
 
 
+@ATTACKS.register("doorping", config_cls=DoorpingConfig)
 class DoorpingAttack:
     """Universal-trigger attack interleaved with condensation."""
 
-    def __init__(self, config: Optional[DoorpingConfig] = None) -> None:
+    def __init__(self, config: DoorpingConfig | None = None) -> None:
         self.config = config or DoorpingConfig()
 
     def run(

@@ -13,7 +13,6 @@ which is exactly the gap BGC closes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 
@@ -33,6 +32,7 @@ from repro.graph.data import GraphData
 from repro.graph.propagation import sgc_precompute
 from repro.graph.splits import SplitIndices
 from repro.graph.subgraph import attach_trigger_subgraph
+from repro.registry import ATTACKS
 from repro.utils.logging import get_logger
 
 logger = get_logger("attack.baselines.gta")
@@ -43,8 +43,8 @@ class GTAConfig:
     """Hyperparameters of the GTA adaptation."""
 
     target_class: int = 0
-    poison_ratio: Optional[float] = 0.1
-    poison_number: Optional[int] = None
+    poison_ratio: float | None = 0.1
+    poison_number: int | None = None
     generator_epochs: int = 30
     update_batch_size: int = 12
     max_neighbors: int = 10
@@ -61,10 +61,11 @@ class GTAConfig:
             raise AttackError("generator_epochs must be >= 1")
 
 
+@ATTACKS.register("gta", config_cls=GTAConfig)
 class GTAAttack:
     """Poison the original graph with a statically trained trigger generator, then condense."""
 
-    def __init__(self, config: Optional[GTAConfig] = None) -> None:
+    def __init__(self, config: GTAConfig | None = None) -> None:
         self.config = config or GTAConfig()
 
     def run(

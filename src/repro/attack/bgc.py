@@ -17,7 +17,7 @@ utility, yet encodes the trigger → target-class association.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 
@@ -41,6 +41,7 @@ from repro.graph.data import GraphData
 from repro.graph.normalize import dense_gcn_normalize
 from repro.graph.splits import SplitIndices
 from repro.graph.subgraph import attach_trigger_subgraph
+from repro.registry import ATTACKS
 from repro.utils.logging import get_logger
 
 logger = get_logger("attack.bgc")
@@ -51,8 +52,8 @@ class BGCConfig:
     """Hyperparameters of the BGC attack (defaults follow the paper)."""
 
     target_class: int = 0
-    poison_ratio: Optional[float] = 0.1
-    poison_number: Optional[int] = None
+    poison_ratio: float | None = 0.1
+    poison_number: int | None = None
     epochs: int = 30
     surrogate_steps: int = 20
     surrogate_lr: float = 0.05
@@ -61,7 +62,7 @@ class BGCConfig:
     update_batch_size: int = 12
     max_neighbors: int = 10
     directed: bool = False
-    source_class: Optional[int] = None
+    source_class: int | None = None
     use_random_selection: bool = False
     trigger: TriggerConfig = field(default_factory=TriggerConfig)
     selection: SelectionConfig = field(default_factory=SelectionConfig)
@@ -94,10 +95,11 @@ class BGCResult:
     history: List[Dict[str, float]] = field(default_factory=list)
 
 
+@ATTACKS.register("bgc", config_cls=BGCConfig)
 class BGC:
     """Backdoor attack against graph condensation (the paper's method)."""
 
-    def __init__(self, config: Optional[BGCConfig] = None) -> None:
+    def __init__(self, config: BGCConfig | None = None) -> None:
         self.config = config or BGCConfig()
 
     # -------------------------------------------------------------- #

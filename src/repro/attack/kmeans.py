@@ -7,7 +7,6 @@ caller's random generator.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -40,8 +39,8 @@ class KMeans:
         self.num_clusters = num_clusters
         self.max_iterations = max_iterations
         self.tolerance = tolerance
-        self.centroids: Optional[np.ndarray] = None
-        self.assignments: Optional[np.ndarray] = None
+        self.centroids: np.ndarray | None = None
+        self.assignments: np.ndarray | None = None
         self.inertia: float = float("inf")
 
     def fit(self, points: np.ndarray, rng: np.random.Generator) -> "KMeans":

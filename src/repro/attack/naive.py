@@ -10,13 +10,14 @@ this both degrades the downstream GNN's clean accuracy and is easy to detect
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
 from repro.condensation.base import CondensedGraph, Condenser
 from repro.exceptions import AttackError
 from repro.graph.data import GraphData
+from repro.registry import ATTACKS
 from repro.utils.logging import get_logger
 
 logger = get_logger("attack.naive")
@@ -38,10 +39,11 @@ class NaivePoisonConfig:
             raise AttackError(f"poison_fraction must lie in (0, 1], got {self.poison_fraction}")
 
 
+@ATTACKS.register("naive", config_cls=NaivePoisonConfig, aliases=("naive-poison",))
 class NaivePoison:
     """Condense cleanly, then stamp a universal trigger into the condensed graph."""
 
-    def __init__(self, config: Optional[NaivePoisonConfig] = None) -> None:
+    def __init__(self, config: NaivePoisonConfig | None = None) -> None:
         self.config = config or NaivePoisonConfig()
 
     def run(
@@ -82,6 +84,7 @@ class NaivePoison:
                 if i != j:
                     poisoned.adjacency[i, j] = 1.0
         poisoned.method = f"{condensed.method}+naive-poison"
+        poisoned.metadata["poisoned_nodes"] = float(num_poison)
         logger.debug("naively poisoned %d / %d condensed nodes", num_poison, num_nodes)
         return poisoned, trigger_pattern
 

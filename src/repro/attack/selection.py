@@ -15,7 +15,7 @@ in Figure 5.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List
 
 import numpy as np
 
@@ -63,10 +63,10 @@ class RepresentativeNodeSelector:
     selection strategies the paper cites.
     """
 
-    def __init__(self, config: Optional[SelectionConfig] = None) -> None:
+    def __init__(self, config: SelectionConfig | None = None) -> None:
         self.config = config or SelectionConfig()
-        self._representations: Optional[np.ndarray] = None
-        self._scores: Optional[np.ndarray] = None
+        self._representations: np.ndarray | None = None
+        self._scores: np.ndarray | None = None
 
     def select(
         self,
@@ -74,7 +74,7 @@ class RepresentativeNodeSelector:
         budget: int,
         target_class: int,
         rng: np.random.Generator,
-        candidates: Optional[np.ndarray] = None,
+        candidates: np.ndarray | None = None,
     ) -> np.ndarray:
         """Return the indices of the nodes to poison.
 
@@ -143,7 +143,7 @@ class RepresentativeNodeSelector:
     # Internals
     # -------------------------------------------------------------- #
     def _candidate_pool(
-        self, graph: GraphData, candidates: Optional[np.ndarray]
+        self, graph: GraphData, candidates: np.ndarray | None
     ) -> np.ndarray:
         if candidates is not None:
             pool = np.asarray(candidates, dtype=np.int64)
@@ -199,7 +199,7 @@ class RandomNodeSelector:
         budget: int,
         target_class: int,
         rng: np.random.Generator,
-        candidates: Optional[np.ndarray] = None,
+        candidates: np.ndarray | None = None,
     ) -> np.ndarray:
         """Sample ``budget`` candidate nodes uniformly at random."""
         if budget < 1:

@@ -11,7 +11,7 @@ gradients, as in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -67,7 +67,7 @@ class TriggerGenerator(Module):
         self,
         num_features: int,
         rng: np.random.Generator,
-        config: Optional[TriggerConfig] = None,
+        config: TriggerConfig | None = None,
     ) -> None:
         super().__init__()
         self.config = config or TriggerConfig()
@@ -233,7 +233,7 @@ class UniversalTriggerGenerator(Module):
         self,
         num_features: int,
         rng: np.random.Generator,
-        config: Optional[TriggerConfig] = None,
+        config: TriggerConfig | None = None,
     ) -> None:
         super().__init__()
         self.config = config or TriggerConfig()

@@ -1,6 +1,16 @@
 """Command-line interface for the BGC reproduction.
 
-Three subcommands cover the common workflows::
+The CLI is a thin shell over the declarative API (:mod:`repro.api`): every
+subcommand builds an :class:`~repro.api.spec.ExperimentSpec` (or
+:class:`~repro.api.spec.SweepSpec`) and hands it to
+:func:`~repro.api.runner.run_experiment` / :func:`~repro.api.runner.run_sweep`.
+
+Spec-driven workflows::
+
+    python -m repro.cli run   --spec spec.json
+    python -m repro.cli sweep --spec sweep.json --out results.jsonl
+
+Legacy workflows (compatibility wrappers that construct specs internally)::
 
     python -m repro.cli datasets                      # list datasets + statistics
     python -m repro.cli condense --dataset cora --method gcond --ratio 0.026
@@ -15,28 +25,15 @@ downstream accuracy only.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from pathlib import Path
+from typing import Any, Dict, List
 
-from repro import (
-    BGC,
-    BGCConfig,
-    CondensationConfig,
-    EvaluationConfig,
-    load_dataset,
-    list_datasets,
-    make_condenser,
-    available_condensers,
-)
-from repro.attack.trigger import TriggerConfig
-from repro.datasets import statistics_table
-from repro.evaluation.pipeline import (
-    evaluate_backdoor,
-    evaluate_clean,
-    train_model_on_condensed,
-)
+from repro.api import ExperimentSpec, RunRecord, SweepSpec, run_experiment, run_sweep
+from repro.datasets import list_datasets, statistics_table
+from repro.registry import CONDENSERS
 from repro.evaluation.reporting import format_percent, format_table
-from repro.utils import new_rng
 from repro.utils.logging import enable_console_logging
 
 
@@ -49,6 +46,16 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("datasets", help="list the available datasets and their statistics")
+
+    run = subparsers.add_parser("run", help="run one experiment described by a JSON spec")
+    run.add_argument("--spec", required=True, help="path to an ExperimentSpec JSON file ('-' for stdin)")
+    run.add_argument("--json", action="store_true", help="print the RunRecord as JSON instead of a table")
+    run.add_argument("--verbose", action="store_true", help="enable console logging")
+
+    sweep = subparsers.add_parser("sweep", help="run a cartesian grid described by a JSON sweep spec")
+    sweep.add_argument("--spec", required=True, help="path to a SweepSpec JSON file ('-' for stdin)")
+    sweep.add_argument("--out", default=None, help="write one RunRecord JSON object per line to this file")
+    sweep.add_argument("--verbose", action="store_true", help="enable console logging")
 
     condense = subparsers.add_parser("condense", help="run a clean graph condensation")
     _add_common_arguments(condense)
@@ -68,7 +75,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--dataset", default="cora", choices=sorted(list_datasets()))
-    parser.add_argument("--method", default="gcond", choices=available_condensers())
+    # known() includes alias spellings (gcondx, dcgraph, gcsntk) so historical
+    # invocations keep parsing; build() resolves them to the canonical entry.
+    parser.add_argument("--method", default="gcond", choices=CONDENSERS.known())
     parser.add_argument("--ratio", type=float, default=0.026, help="condensation ratio")
     parser.add_argument("--epochs", type=int, default=20, help="condensation / attack epochs")
     parser.add_argument("--eval-epochs", type=int, default=150, help="downstream training epochs")
@@ -77,6 +86,50 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--verbose", action="store_true", help="enable console logging")
 
 
+# ------------------------------------------------------------------ #
+# Spec construction (the single source of truth for legacy defaults)
+# ------------------------------------------------------------------ #
+def spec_from_legacy_args(args: argparse.Namespace, *, with_attack: bool) -> ExperimentSpec:
+    """Build the ExperimentSpec equivalent of a legacy CLI invocation.
+
+    Both ``condense`` and ``attack`` route through here, so condensation and
+    evaluation defaults can never drift between the two subcommands again.
+    """
+    payload: Dict[str, Any] = {
+        "dataset": {"name": args.dataset, "overrides": {"seed": args.seed}},
+        "model": args.architecture,
+        "condenser": {
+            "name": args.method,
+            "overrides": {"epochs": args.epochs, "ratio": args.ratio},
+        },
+        "evaluation": {"overrides": {"epochs": args.eval_epochs}},
+        "seed": args.seed,
+    }
+    if with_attack:
+        attack_overrides: Dict[str, Any] = {
+            "target_class": args.target_class,
+            "epochs": args.epochs,
+            "use_random_selection": args.random_selection,
+        }
+        if args.poison_number is not None:
+            attack_overrides["poison_number"] = args.poison_number
+            attack_overrides["poison_ratio"] = None
+        else:
+            attack_overrides["poison_ratio"] = args.poison_ratio
+        payload["attack"] = {"name": "bgc", "overrides": attack_overrides}
+        payload["trigger"] = {"overrides": {"trigger_size": args.trigger_size}}
+    return ExperimentSpec.from_dict(payload)
+
+
+def _load_payload(path: str) -> Dict[str, Any]:
+    if path == "-":
+        return json.load(sys.stdin)
+    return json.loads(Path(path).read_text())
+
+
+# ------------------------------------------------------------------ #
+# Subcommands
+# ------------------------------------------------------------------ #
 def run_datasets_command() -> int:
     rows = []
     for row in statistics_table(seed=0):
@@ -95,74 +148,95 @@ def run_datasets_command() -> int:
     return 0
 
 
-def run_condense_command(args: argparse.Namespace) -> int:
-    graph = load_dataset(args.dataset, seed=args.seed)
-    condenser = make_condenser(args.method, CondensationConfig(epochs=args.epochs, ratio=args.ratio))
-    condensed = condenser.condense(graph, new_rng(args.seed))
-    evaluation = EvaluationConfig(architecture=args.architecture, epochs=args.eval_epochs)
-    model = train_model_on_condensed(condensed, graph, evaluation, new_rng(args.seed + 1))
-    cta = evaluate_clean(model, graph)
-    print(
-        format_table(
-            [
-                {
-                    "dataset": args.dataset,
-                    "method": args.method,
-                    "ratio": args.ratio,
-                    "condensed nodes": condensed.num_nodes,
-                    "C-CTA %": format_percent(cta),
-                }
-            ]
+def _record_row(record: RunRecord) -> Dict[str, Any]:
+    """Table-II-style row for one RunRecord."""
+    spec = record.spec
+    row: Dict[str, Any] = {
+        "dataset": spec.dataset.name,
+        "method": spec.condenser.name,
+        "ratio": spec.condenser.overrides.get("ratio", ""),
+    }
+    if spec.attack.is_set:
+        row.update(
+            {
+                "C-CTA %": format_percent(record.clean_cta),
+                "CTA %": format_percent(record.attack_cta),
+                "C-ASR %": format_percent(record.clean_asr),
+                "ASR %": format_percent(record.attack_asr),
+                "poisoned nodes": record.poisoned_nodes,
+            }
         )
-    )
+    else:
+        row.update(
+            {
+                "condensed nodes": record.condensed_nodes,
+                "C-CTA %": format_percent(record.clean_cta),
+            }
+        )
+    if spec.defense.is_set:
+        row["defense"] = spec.defense.name
+        row["D-CTA %"] = format_percent(record.defense_cta)
+        if spec.attack.is_set:
+            row["D-ASR %"] = format_percent(record.defense_asr)
+    return row
+
+
+def run_run_command(args: argparse.Namespace) -> int:
+    spec = ExperimentSpec.from_dict(_load_payload(args.spec))
+    record = run_experiment(spec)
+    if args.json:
+        print(json.dumps(record.to_dict()))
+    else:
+        print(format_table([_record_row(record)]))
+    return 0
+
+
+def run_sweep_command(args: argparse.Namespace) -> int:
+    sweep = SweepSpec.from_dict(_load_payload(args.spec))
+    sink = open(args.out, "w") if args.out else None
+    try:
+        def emit(record: RunRecord) -> None:
+            line = json.dumps(record.to_dict())
+            if sink is not None:
+                sink.write(line + "\n")
+                sink.flush()
+        records = run_sweep(sweep, on_record=emit)
+    finally:
+        if sink is not None:
+            sink.close()
+    print(format_table(_align_rows([_record_row(record) for record in records])))
+    return 0
+
+
+def _align_rows(rows: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Give every row the union of all columns (first-appearance order).
+
+    Grids mixing clean and attacked cells produce rows with different keys;
+    ``format_table`` renders the first row's columns, so without alignment
+    the attack metrics of later cells would silently vanish.
+    """
+    columns: Dict[str, None] = {}
+    for row in rows:
+        for key in row:
+            columns.setdefault(key, None)
+    return [{key: row.get(key, "") for key in columns} for row in rows]
+
+
+def run_condense_command(args: argparse.Namespace) -> int:
+    spec = spec_from_legacy_args(args, with_attack=False)
+    record = run_experiment(spec)
+    print(format_table([_record_row(record)]))
     return 0
 
 
 def run_attack_command(args: argparse.Namespace) -> int:
-    graph = load_dataset(args.dataset, seed=args.seed)
-    condensation = CondensationConfig(epochs=args.epochs, ratio=args.ratio)
-    evaluation = EvaluationConfig(architecture=args.architecture, epochs=args.eval_epochs)
-
-    attack = BGC(
-        BGCConfig(
-            target_class=args.target_class,
-            poison_ratio=None if args.poison_number is not None else args.poison_ratio,
-            poison_number=args.poison_number,
-            epochs=args.epochs,
-            use_random_selection=args.random_selection,
-            trigger=TriggerConfig(trigger_size=args.trigger_size),
-        )
-    )
-    result = attack.run(graph, make_condenser(args.method, condensation), new_rng(args.seed))
-    victim = train_model_on_condensed(result.condensed, graph, evaluation, new_rng(args.seed + 1))
-
-    clean_condensed = make_condenser(args.method, condensation).condense(graph, new_rng(args.seed + 2))
-    clean_model = train_model_on_condensed(clean_condensed, graph, evaluation, new_rng(args.seed + 3))
-
-    print(
-        format_table(
-            [
-                {
-                    "dataset": args.dataset,
-                    "method": args.method,
-                    "ratio": args.ratio,
-                    "C-CTA %": format_percent(evaluate_clean(clean_model, graph)),
-                    "CTA %": format_percent(evaluate_clean(victim, graph)),
-                    "C-ASR %": format_percent(
-                        evaluate_backdoor(clean_model, graph, result.generator, result.target_class)
-                    ),
-                    "ASR %": format_percent(
-                        evaluate_backdoor(victim, graph, result.generator, result.target_class)
-                    ),
-                    "poisoned nodes": int(result.poisoned_nodes.size),
-                }
-            ]
-        )
-    )
+    spec = spec_from_legacy_args(args, with_attack=True)
+    record = run_experiment(spec)
+    print(format_table([_record_row(record)]))
     return 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def main(argv: List[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -170,6 +244,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         enable_console_logging()
     if args.command == "datasets":
         return run_datasets_command()
+    if args.command == "run":
+        return run_run_command(args)
+    if args.command == "sweep":
+        return run_sweep_command(args)
     if args.command == "condense":
         return run_condense_command(args)
     if args.command == "attack":

@@ -3,12 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict
 
 import numpy as np
 
 from repro.exceptions import CondensationError, ConfigurationError
 from repro.graph.data import GraphData
+from repro.registry import CONDENSERS
 
 
 @dataclass
@@ -110,7 +111,7 @@ class Condenser:
 
     name = "condenser"
 
-    def __init__(self, config: Optional[CondensationConfig] = None) -> None:
+    def __init__(self, config: CondensationConfig | None = None) -> None:
         self.config = config or CondensationConfig()
 
     def condense(self, graph: GraphData, rng: np.random.Generator) -> CondensedGraph:
@@ -136,24 +137,18 @@ class Condenser:
         return budget
 
 
-_CONDENSER_FACTORIES: Dict[str, Callable[..., Condenser]] = {}
-
-
-def register_condenser(name: str, factory: Callable[..., Condenser]) -> None:
-    """Register a condenser class under ``name`` for :func:`make_condenser`."""
-    _CONDENSER_FACTORIES[name.lower()] = factory
+def register_condenser(
+    name: str, factory: Callable[..., Condenser], aliases: tuple[str, ...] = ()
+) -> None:
+    """Register a condenser under ``name`` (back-compat shim over :data:`CONDENSERS`)."""
+    CONDENSERS.register(name, factory=factory, config_cls=CondensationConfig, aliases=aliases)
 
 
 def available_condensers() -> list[str]:
-    """Names accepted by :func:`make_condenser`."""
-    return sorted(_CONDENSER_FACTORIES)
+    """Canonical names accepted by :func:`make_condenser`."""
+    return CONDENSERS.available()
 
 
-def make_condenser(name: str, config: Optional[CondensationConfig] = None) -> Condenser:
+def make_condenser(name: str, config: CondensationConfig | None = None) -> Condenser:
     """Instantiate a condenser by name (``dc-graph``, ``gcond``, ``gcond-x``, ``gc-sntk``)."""
-    key = name.lower()
-    if key not in _CONDENSER_FACTORIES:
-        raise ConfigurationError(
-            f"unknown condenser {name!r}; available: {', '.join(available_condensers())}"
-        )
-    return _CONDENSER_FACTORIES[key](config=config)
+    return CONDENSERS.build(name, config)

@@ -10,17 +10,15 @@ graph structure — exactly the protocol of the GCond paper.
 
 from __future__ import annotations
 
-from repro.condensation.base import register_condenser
+from repro.condensation.base import CondensationConfig
 from repro.condensation.gradient_matching import GradientMatchingCondenser
+from repro.registry import CONDENSERS
 
 
+@CONDENSERS.register("dc-graph", config_cls=CondensationConfig, aliases=("dcgraph",))
 class DCGraph(GradientMatchingCondenser):
     """Gradient matching on raw features; structure-free condensed graph."""
 
     name = "dc-graph"
     use_structure = False
     propagate_real = False
-
-
-register_condenser("dc-graph", DCGraph)
-register_condenser("dcgraph", DCGraph)

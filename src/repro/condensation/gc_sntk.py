@@ -18,7 +18,6 @@ only applies to NTK-based downstream models.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
 
 import numpy as np
 
@@ -28,8 +27,8 @@ from repro.condensation.base import (
     CondensationConfig,
     CondensedGraph,
     Condenser,
-    register_condenser,
 )
+from repro.registry import CONDENSERS
 from repro.condensation.sntk import KernelRidgeRegression
 from repro.exceptions import CondensationError
 from repro.graph.cache import PropagationCache, get_default_cache
@@ -55,16 +54,16 @@ class GCSNTK(Condenser):
 
     def __init__(
         self,
-        config: Optional[CondensationConfig] = None,
+        config: CondensationConfig | None = None,
         ridge: float = 1e-2,
-        cache: Optional[PropagationCache] = None,
+        cache: PropagationCache | None = None,
     ) -> None:
         super().__init__(config)
         if ridge <= 0:
             raise CondensationError(f"ridge must be positive, got {ridge}")
         self.ridge = ridge
-        self._graph: Optional[GraphData] = None
-        self._state: Optional[_SNTKState] = None
+        self._graph: GraphData | None = None
+        self._state: _SNTKState | None = None
         self._cache = cache if cache is not None else get_default_cache()
 
     # -------------------------------------------------------------- #
@@ -87,7 +86,7 @@ class GCSNTK(Condenser):
             optimizer=Adam([feature_param], lr=self.config.lr_features * feature_scale),
         )
 
-    def epoch_step(self, real_graph: Optional[GraphData] = None) -> float:
+    def epoch_step(self, real_graph: GraphData | None = None) -> float:
         """One KRR-loss gradient step on the synthetic support features."""
         state = self._require_state()
         graph = real_graph if real_graph is not None else self._graph
@@ -137,7 +136,7 @@ class GCSNTK(Condenser):
                 logger.debug("gc-sntk epoch %d krr loss %.5f", epoch, loss)
         return self.synthetic()
 
-    def predictor(self, condensed: Optional[CondensedGraph] = None) -> "SNTKPredictor":
+    def predictor(self, condensed: CondensedGraph | None = None) -> "SNTKPredictor":
         """Build the KRR predictor for a condensed graph (defaults to the current one)."""
         condensed = condensed if condensed is not None else self.synthetic()
         return SNTKPredictor(condensed, ridge=self.ridge, num_hops=self.config.num_hops)
@@ -219,5 +218,6 @@ class SNTKPredictor:
         return self._krr.predict(propagated)
 
 
-register_condenser("gc-sntk", GCSNTK)
-register_condenser("gcsntk", GCSNTK)
+CONDENSERS.register(
+    "gc-sntk", factory=GCSNTK, config_cls=CondensationConfig, aliases=("gcsntk",)
+)

@@ -8,10 +8,12 @@ and trains downstream models on the condensed features alone.
 
 from __future__ import annotations
 
-from repro.condensation.base import register_condenser
+from repro.condensation.base import CondensationConfig
 from repro.condensation.gradient_matching import GradientMatchingCondenser
+from repro.registry import CONDENSERS
 
 
+@CONDENSERS.register("gcond", config_cls=CondensationConfig)
 class GCond(GradientMatchingCondenser):
     """Gradient matching with propagated real features and a learned structure."""
 
@@ -20,14 +22,10 @@ class GCond(GradientMatchingCondenser):
     propagate_real = True
 
 
+@CONDENSERS.register("gcond-x", config_cls=CondensationConfig, aliases=("gcondx",))
 class GCondX(GradientMatchingCondenser):
     """GCond without the learned condensed structure (features only)."""
 
     name = "gcond-x"
     use_structure = False
     propagate_real = True
-
-
-register_condenser("gcond", GCond)
-register_condenser("gcond-x", GCondX)
-register_condenser("gcondx", GCondX)

@@ -15,7 +15,7 @@ the structure generator), avoiding any double-backward machinery.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 
@@ -192,9 +192,9 @@ class _SyntheticState:
     labels: np.ndarray
     class_index: Dict[int, np.ndarray]
     surrogate_weight: Parameter
-    structure_generator: Optional[StructureGenerator]
+    structure_generator: StructureGenerator | None
     feature_optimizer: Adam
-    structure_optimizer: Optional[Adam]
+    structure_optimizer: Adam | None
 
 
 class GradientMatchingCondenser(Condenser):
@@ -215,13 +215,13 @@ class GradientMatchingCondenser(Condenser):
 
     def __init__(
         self,
-        config: Optional[CondensationConfig] = None,
-        cache: Optional[PropagationCache] = None,
+        config: CondensationConfig | None = None,
+        cache: PropagationCache | None = None,
     ) -> None:
         super().__init__(config)
-        self._graph: Optional[GraphData] = None
-        self._state: Optional[_SyntheticState] = None
-        self._rng: Optional[np.random.Generator] = None
+        self._graph: GraphData | None = None
+        self._state: _SyntheticState | None = None
+        self._rng: np.random.Generator | None = None
         # Shared by default: every condenser instance (GCond, GCond-X,
         # DC-Graph, GC-SNTK) working on the same graph version reuses one
         # propagation, and the BGC attack's per-epoch poisoned graphs are
@@ -247,8 +247,8 @@ class GradientMatchingCondenser(Condenser):
             rng.normal(scale=0.1, size=(graph.num_features, graph.num_classes)),
             name="surrogate_weight",
         )
-        structure_generator: Optional[StructureGenerator] = None
-        structure_optimizer: Optional[Adam] = None
+        structure_generator: StructureGenerator | None = None
+        structure_optimizer: Adam | None = None
         if self.use_structure:
             structure_generator = StructureGenerator(
                 graph.num_features, self.config.structure_hidden, rng
@@ -266,7 +266,7 @@ class GradientMatchingCondenser(Condenser):
             structure_optimizer=structure_optimizer,
         )
 
-    def reset_surrogate(self, rng: Optional[np.random.Generator] = None) -> None:
+    def reset_surrogate(self, rng: np.random.Generator | None = None) -> None:
         """Re-initialise the surrogate weight (start of every outer epoch)."""
         state = self._require_state()
         generator = rng if rng is not None else self._rng
@@ -274,7 +274,7 @@ class GradientMatchingCondenser(Condenser):
             scale=0.1, size=state.surrogate_weight.data.shape
         )
 
-    def train_surrogate(self, steps: Optional[int] = None) -> float:
+    def train_surrogate(self, steps: int | None = None) -> float:
         """Train the surrogate weight on the current synthetic graph.
 
         The surrogate is linear in its weight, so the CE gradient has the
@@ -319,7 +319,7 @@ class GradientMatchingCondenser(Condenser):
         """Current surrogate weight matrix (copy)."""
         return self._require_state().surrogate_weight.data.copy()
 
-    def outer_step(self, real_graph: Optional[GraphData] = None) -> float:
+    def outer_step(self, real_graph: GraphData | None = None) -> float:
         """One gradient-matching update of the synthetic graph.
 
         ``real_graph`` defaults to the graph passed to :meth:`initialize`;
@@ -382,7 +382,7 @@ class GradientMatchingCondenser(Condenser):
             state.structure_optimizer.step()
         return float(total_loss.item())
 
-    def epoch_step(self, real_graph: Optional[GraphData] = None) -> float:
+    def epoch_step(self, real_graph: GraphData | None = None) -> float:
         """One full condensation epoch: fresh surrogate, inner training, matching.
 
         This is the hook the BGC attack drives with the current poisoned graph.

@@ -15,7 +15,6 @@ computed on structure-propagated features.  This module provides
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 import scipy.sparse as sp
@@ -102,8 +101,8 @@ class KernelRidgeRegression:
         self.ridge = ridge
         self.kernel = kernel
         self.depth = depth
-        self._support: Optional[np.ndarray] = None
-        self._alpha: Optional[np.ndarray] = None
+        self._support: np.ndarray | None = None
+        self._alpha: np.ndarray | None = None
         self._num_classes = 0
 
     def _kernel(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:

@@ -10,7 +10,7 @@ the two large graphs are scaled down to stay CPU-tractable.
 
 from repro.datasets.base import DatasetSpec, load_dataset, list_datasets, register_dataset
 from repro.datasets.statistics import dataset_statistics, statistics_table
-from repro.datasets import planetoid, social
+from repro.datasets import planetoid, social, tiny
 
 __all__ = [
     "DatasetSpec",
@@ -21,4 +21,5 @@ __all__ = [
     "statistics_table",
     "planetoid",
     "social",
+    "tiny",
 ]

@@ -1,12 +1,19 @@
-"""Dataset registry and specification objects."""
+"""Dataset registry and specification objects.
+
+Datasets live in the shared :data:`repro.registry.DATASETS` registry; the
+helpers here keep the historical function API (:func:`load_dataset`,
+:func:`list_datasets`, :func:`register_dataset`) and the
+:class:`DatasetSpec` metadata attached to every entry.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List
 
-from repro.exceptions import DatasetError
+from repro.exceptions import DatasetError, ReproError
 from repro.graph.data import GraphData
+from repro.registry import DATASETS
 
 LoaderFn = Callable[["DatasetSpec", int], GraphData]
 
@@ -35,30 +42,30 @@ class DatasetSpec:
     extras: Dict[str, float] = field(default_factory=dict)
 
 
-_REGISTRY: Dict[str, tuple[DatasetSpec, LoaderFn]] = {}
-
-
 def register_dataset(spec: DatasetSpec, loader: LoaderFn) -> None:
     """Register a dataset loader under ``spec.name`` (case-insensitive)."""
-    key = spec.name.lower()
-    if key in _REGISTRY:
+    if spec.name.lower() in DATASETS:
         raise DatasetError(f"dataset {spec.name!r} is already registered")
-    _REGISTRY[key] = (spec, loader)
+
+    def build(seed: int = 0, _spec: DatasetSpec = spec, _loader: LoaderFn = loader) -> GraphData:
+        return _loader(_spec, seed)
+
+    DATASETS.register(
+        spec.name, factory=build, metadata={"spec": spec, "loader": loader}
+    )
 
 
 def list_datasets() -> List[str]:
     """Return the names of all registered datasets."""
-    return sorted(spec.name for spec, _ in _REGISTRY.values())
+    return DATASETS.available()
 
 
 def get_spec(name: str) -> DatasetSpec:
     """Return the :class:`DatasetSpec` registered under ``name``."""
-    key = name.lower()
-    if key not in _REGISTRY:
-        raise DatasetError(
-            f"unknown dataset {name!r}; available: {', '.join(list_datasets())}"
-        )
-    return _REGISTRY[key][0]
+    try:
+        return DATASETS.get(name).metadata["spec"]
+    except ReproError as error:
+        raise DatasetError(str(error)) from None
 
 
 def load_dataset(name: str, seed: int = 0) -> GraphData:
@@ -72,10 +79,9 @@ def load_dataset(name: str, seed: int = 0) -> GraphData:
         Seed controlling graph topology, features and splits.  The same seed
         always yields exactly the same graph.
     """
-    key = name.lower()
-    if key not in _REGISTRY:
-        raise DatasetError(
-            f"unknown dataset {name!r}; available: {', '.join(list_datasets())}"
-        )
-    spec, loader = _REGISTRY[key]
-    return loader(spec, seed)
+    try:
+        return DATASETS.build(name, seed=seed)
+    except ReproError as error:
+        if name.lower() in DATASETS:
+            raise
+        raise DatasetError(str(error)) from None

@@ -20,12 +20,13 @@ flagged nodes removed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict
 
 import numpy as np
 
 from repro.condensation.base import CondensedGraph
 from repro.exceptions import DefenseError
+from repro.registry import DEFENSES
 from repro.utils.logging import get_logger
 
 logger = get_logger("defenses.detection")
@@ -59,6 +60,7 @@ def _flag_top_scores(scores: np.ndarray, contamination: float) -> np.ndarray:
     return mask
 
 
+@DEFENSES.register("feature-outlier", aliases=("outlier",))
 class FeatureOutlierDetector:
     """Z-score distance-to-class-centroid outlier detection."""
 
@@ -89,6 +91,7 @@ class FeatureOutlierDetector:
         return DetectionReport(scores=scores, flagged=flagged, contamination=self.contamination)
 
 
+@DEFENSES.register("spectral-signature", aliases=("spectral",))
 class SpectralSignatureDetector:
     """Spectral-signature detection (Tran et al., 2018) adapted to condensed graphs."""
 

@@ -17,6 +17,7 @@ import scipy.sparse as sp
 from repro.condensation.base import CondensedGraph
 from repro.exceptions import DefenseError
 from repro.graph.data import GraphData
+from repro.registry import DEFENSES
 from repro.utils.logging import get_logger
 
 logger = get_logger("defenses.prune")
@@ -42,6 +43,7 @@ def _cosine_similarity(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return numerator / denominator
 
 
+@DEFENSES.register("prune", config_cls=PruneConfig)
 class PruneDefense:
     """Remove the lowest-similarity edges from a condensed or full graph."""
 

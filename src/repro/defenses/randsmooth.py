@@ -16,6 +16,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.exceptions import DefenseError
+from repro.registry import DEFENSES
 from repro.utils.logging import get_logger
 
 logger = get_logger("defenses.randsmooth")
@@ -86,6 +87,7 @@ class SmoothedModel:
         return dense
 
 
+@DEFENSES.register("randsmooth", config_cls=RandSmoothConfig)
 class RandSmoothDefense:
     """Factory wrapper matching the style of :class:`~repro.defenses.prune.PruneDefense`."""
 

@@ -10,7 +10,7 @@ over seeds.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List
 
 import numpy as np
 
@@ -79,9 +79,9 @@ class ExperimentRunner:
 
     def __init__(
         self,
-        condensation_config: Optional[CondensationConfig] = None,
-        attack_config: Optional[BGCConfig] = None,
-        evaluation_config: Optional[EvaluationConfig] = None,
+        condensation_config: CondensationConfig | None = None,
+        attack_config: BGCConfig | None = None,
+        evaluation_config: EvaluationConfig | None = None,
         num_seeds: int = 1,
         base_seed: int = 0,
     ) -> None:
@@ -95,7 +95,7 @@ class ExperimentRunner:
     # Single cells
     # -------------------------------------------------------------- #
     def run_clean(
-        self, graph: GraphData, condenser_name: str, seed: int, generator: Optional[TriggerGenerator]
+        self, graph: GraphData, condenser_name: str, seed: int, generator: TriggerGenerator | None
     ) -> tuple[float, float]:
         """Clean condensation baseline: C-CTA and (if a generator is given) C-ASR."""
         condense_rng, eval_rng = spawn_rngs(seed, 2)

@@ -14,7 +14,7 @@ it, and deploy it on the original graph.  The pipeline therefore
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 
@@ -74,9 +74,11 @@ def train_model_on_condensed(
 
     GC-SNTK condensed graphs are evaluated with the matching KRR predictor
     (the paper notes GC-SNTK only applies to NTK-based models); every other
-    condensed graph trains the requested GNN architecture.
+    condensed graph trains the requested GNN architecture.  The method check
+    ignores attack suffixes ("gc-sntk+naive-poison"), so attacked and clean
+    variants of the same condenser always train the same model family.
     """
-    if condensed.method == "gc-sntk":
+    if condensed.method.split("+", 1)[0] == "gc-sntk":
         ridge = condensed.metadata.get("ridge", config.sntk_ridge)
         hops = int(condensed.metadata.get("num_hops", config.sntk_hops))
         return SNTKPredictor(condensed, ridge=ridge, num_hops=hops)
@@ -135,7 +137,7 @@ def evaluate_backdoor(
     original: GraphData,
     generator: TriggerGenerator,
     target_class: int,
-    test_index: Optional[np.ndarray] = None,
+    test_index: np.ndarray | None = None,
 ) -> float:
     """ASR of a trained model when triggers are attached to the test nodes."""
     test_index = (
@@ -175,7 +177,7 @@ def evaluate_condensed_graph(
     original: GraphData,
     config: EvaluationConfig,
     rng: np.random.Generator,
-    generator: Optional[TriggerGenerator] = None,
+    generator: TriggerGenerator | None = None,
     target_class: int = 0,
 ) -> EvaluationResult:
     """Full evaluation of one condensed graph: train once, measure CTA and ASR."""

@@ -9,9 +9,11 @@ import numpy as np
 from repro.autograd import Linear, Tensor
 from repro.autograd import functional as F
 from repro.exceptions import ConfigurationError
-from repro.models.base import Adjacency, NodeClassifier, normalize_adjacency, propagate, register_architecture
+from repro.models.base import Adjacency, NodeClassifier, normalize_adjacency, propagate
+from repro.registry import MODELS
 
 
+@MODELS.register("appnp")
 class APPNP(NodeClassifier):
     """Two-layer MLP predictor followed by K steps of PPR propagation."""
 
@@ -49,6 +51,3 @@ class APPNP(NodeClassifier):
         for _ in range(self.num_propagations):
             state = propagate(operator, state) * (1.0 - self.teleport) + predictions * self.teleport
         return state
-
-
-register_architecture("appnp", APPNP)

@@ -2,16 +2,16 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Union
+from typing import Callable, Union
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.autograd import Module, Tensor
 from repro.autograd.tensor import sparse_matmul
-from repro.exceptions import ConfigurationError
 from repro.graph.cache import get_default_cache
 from repro.graph.normalize import dense_gcn_normalize, gcn_normalize
+from repro.registry import MODELS
 
 Adjacency = Union[sp.spmatrix, np.ndarray]
 
@@ -68,17 +68,14 @@ class NodeClassifier(Module):
         return features if isinstance(features, Tensor) else Tensor(features)
 
 
-_MODEL_FACTORIES: Dict[str, Callable[..., NodeClassifier]] = {}
-
-
 def register_architecture(name: str, factory: Callable[..., NodeClassifier]) -> None:
-    """Register an architecture under ``name`` for :func:`make_model`."""
-    _MODEL_FACTORIES[name.lower()] = factory
+    """Register an architecture under ``name`` (back-compat shim over :data:`MODELS`)."""
+    MODELS.register(name, factory=factory)
 
 
 def available_architectures() -> list[str]:
     """Names accepted by :func:`make_model` (the Table III architectures)."""
-    return sorted(_MODEL_FACTORIES)
+    return MODELS.available()
 
 
 def make_model(
@@ -91,12 +88,8 @@ def make_model(
     dropout: float = 0.5,
 ) -> NodeClassifier:
     """Instantiate an architecture by name (``gcn``, ``sgc``, ``sage``, ...)."""
-    key = name.lower()
-    if key not in _MODEL_FACTORIES:
-        raise ConfigurationError(
-            f"unknown architecture {name!r}; available: {', '.join(available_architectures())}"
-        )
-    return _MODEL_FACTORIES[key](
+    return MODELS.build(
+        name,
         in_features=in_features,
         num_classes=num_classes,
         rng=rng,

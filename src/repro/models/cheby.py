@@ -10,10 +10,12 @@ import scipy.sparse as sp
 from repro.autograd import Linear, Tensor
 from repro.autograd import functional as F
 from repro.exceptions import ConfigurationError
-from repro.models.base import Adjacency, NodeClassifier, propagate, register_architecture
+from repro.models.base import Adjacency, NodeClassifier, propagate
+from repro.registry import MODELS
 from repro.graph.normalize import dense_gcn_normalize, gcn_normalize
 
 
+@MODELS.register("cheby", aliases=('chebynet',))
 class ChebyNet(NodeClassifier):
     """Two-layer ChebyNet with filters of order ``cheb_order`` (default 2).
 
@@ -77,6 +79,3 @@ class ChebyNet(NodeClassifier):
         if sp.issparse(adjacency):
             return (-gcn_normalize(adjacency, add_loops=False)).tocsr()
         return -dense_gcn_normalize(np.asarray(adjacency), add_loops=False)
-
-
-register_architecture("cheby", ChebyNet)

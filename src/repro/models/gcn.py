@@ -9,9 +9,11 @@ import numpy as np
 from repro.autograd import Linear, Tensor
 from repro.autograd import functional as F
 from repro.exceptions import ConfigurationError
-from repro.models.base import Adjacency, NodeClassifier, normalize_adjacency, propagate, register_architecture
+from repro.models.base import Adjacency, NodeClassifier, normalize_adjacency, propagate
+from repro.registry import MODELS
 
 
+@MODELS.register("gcn")
 class GCN(NodeClassifier):
     """Multi-layer GCN with ReLU activations and dropout.
 
@@ -49,6 +51,3 @@ class GCN(NodeClassifier):
                 hidden = F.relu(hidden)
                 hidden = F.dropout(hidden, self.dropout_rate, self._rng, training=self.training)
         return hidden
-
-
-register_architecture("gcn", GCN)

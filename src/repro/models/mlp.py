@@ -9,9 +9,11 @@ import numpy as np
 from repro.autograd import Linear, Tensor
 from repro.autograd import functional as F
 from repro.exceptions import ConfigurationError
-from repro.models.base import Adjacency, NodeClassifier, register_architecture
+from repro.models.base import Adjacency, NodeClassifier
+from repro.registry import MODELS
 
 
+@MODELS.register("mlp")
 class MLP(NodeClassifier):
     """Plain MLP that ignores the adjacency matrix entirely (Table III row)."""
 
@@ -44,6 +46,3 @@ class MLP(NodeClassifier):
                 hidden = F.relu(hidden)
                 hidden = F.dropout(hidden, self.dropout_rate, self._rng, training=self.training)
         return hidden
-
-
-register_architecture("mlp", MLP)

@@ -11,9 +11,11 @@ from repro.autograd import Linear, Tensor
 from repro.autograd import functional as F
 from repro.exceptions import ConfigurationError
 from repro.graph.normalize import row_normalize
-from repro.models.base import Adjacency, NodeClassifier, propagate, register_architecture
+from repro.models.base import Adjacency, NodeClassifier, propagate
+from repro.registry import MODELS
 
 
+@MODELS.register("sage", aliases=('graphsage',))
 class GraphSAGE(NodeClassifier):
     """Mean-aggregator GraphSAGE: ``h = act(W_self x + W_neigh · mean(neighbours))``."""
 
@@ -59,6 +61,3 @@ class GraphSAGE(NodeClassifier):
         sums = dense.sum(axis=1, keepdims=True)
         sums[sums == 0] = 1.0
         return dense / sums
-
-
-register_architecture("sage", GraphSAGE)

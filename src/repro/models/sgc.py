@@ -13,9 +13,11 @@ import numpy as np
 
 from repro.autograd import Linear, Tensor
 from repro.exceptions import ConfigurationError
-from repro.models.base import Adjacency, NodeClassifier, normalize_adjacency, propagate, register_architecture
+from repro.models.base import Adjacency, NodeClassifier, normalize_adjacency, propagate
+from repro.registry import MODELS
 
 
+@MODELS.register("sgc")
 class SGC(NodeClassifier):
     """K-hop simplified graph convolution (default K = 2)."""
 
@@ -50,6 +52,3 @@ class SGC(NodeClassifier):
         for _ in range(self.num_hops):
             hidden = propagate(operator, hidden)
         return hidden
-
-
-register_architecture("sgc", SGC)

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Union
 
 import numpy as np
 import scipy.sparse as sp
@@ -58,7 +57,7 @@ class Trainer:
       stopping and runs the full epoch budget).
     """
 
-    def __init__(self, model: NodeClassifier, config: Optional[TrainingConfig] = None) -> None:
+    def __init__(self, model: NodeClassifier, config: TrainingConfig | None = None) -> None:
         self.model = model
         self.config = config or TrainingConfig()
 
@@ -68,10 +67,10 @@ class Trainer:
         features: np.ndarray,
         labels: np.ndarray,
         train_index: np.ndarray,
-        val_index: Optional[np.ndarray] = None,
-        val_adjacency: Optional[Adjacency] = None,
-        val_features: Optional[np.ndarray] = None,
-        val_labels: Optional[np.ndarray] = None,
+        val_index: np.ndarray | None = None,
+        val_adjacency: Adjacency | None = None,
+        val_features: np.ndarray | None = None,
+        val_labels: np.ndarray | None = None,
     ) -> TrainingResult:
         """Train the model and restore its best-validation parameters.
 

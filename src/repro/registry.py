@@ -1,0 +1,267 @@
+"""String-keyed component registries: the stable extension surface of the repo.
+
+Every pluggable component family has one process-wide :class:`Registry`:
+
+* :data:`DATASETS`   — synthetic benchmark graphs (``"cora"``, ``"tiny"``, ...),
+* :data:`MODELS`     — downstream GNN architectures (``"gcn"``, ``"sgc"``, ...),
+* :data:`CONDENSERS` — graph condensation methods (``"gcond"``, ``"gc-sntk"``, ...),
+* :data:`ATTACKS`    — backdoor attacks (``"bgc"``, ``"naive"``, ``"gta"``, ...),
+* :data:`DEFENSES`   — customer-side defenses (``"prune"``, ``"randsmooth"``, ...).
+
+Implementations self-register at import time with the decorator form::
+
+    @CONDENSERS.register("gcond", config_cls=CondensationConfig)
+    class GCond(GradientMatchingCondenser): ...
+
+and callers instantiate by name::
+
+    condenser = CONDENSERS.build("gcond", epochs=30, ratio=0.026)
+
+``build`` binds keyword overrides onto the entry's config dataclass (creating
+it from defaults, validating through ``__post_init__``) and passes the result
+as ``config=``.  Override keys may use dot-paths to reach nested config
+dataclasses — ``CONDENSERS.build("...", **{"trigger.trigger_size": 2})`` — and
+keys that are not config fields but are accepted by the factory's signature
+are forwarded as plain constructor keywords (e.g. GC-SNTK's ``ridge``).
+
+Registries are populated by importing the subsystem packages; importing
+:mod:`repro` (or :mod:`repro.api`) loads all five families.  The declarative
+:mod:`repro.api` layer resolves every :class:`~repro.api.spec.ExperimentSpec`
+component through these registries, so registering a new component here is
+all it takes to make it sweepable from JSON.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field, fields, is_dataclass, replace
+from typing import Any, Callable, Dict, Iterable, List, Tuple
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "Registry",
+    "RegistryEntry",
+    "bind_config",
+    "DATASETS",
+    "MODELS",
+    "CONDENSERS",
+    "ATTACKS",
+    "DEFENSES",
+    "all_registries",
+]
+
+
+def bind_config(config_cls: type, overrides: Dict[str, Any], base: Any = None):
+    """Bind an override mapping onto a config dataclass.
+
+    Starts from ``base`` (or ``config_cls()`` defaults), applies ``overrides``
+    and returns a new instance, so every ``__post_init__`` validation runs on
+    the final values.  Keys may be dot-paths into nested config dataclasses::
+
+        bind_config(BGCConfig, {"poison_ratio": 0.05, "trigger.trigger_size": 2})
+    """
+    if not is_dataclass(config_cls):
+        raise ConfigurationError(f"{config_cls!r} is not a config dataclass")
+    if base is None:
+        base = config_cls()
+    elif not isinstance(base, config_cls):
+        raise ConfigurationError(
+            f"base config {type(base).__name__} does not match {config_cls.__name__}"
+        )
+    field_map = {f.name: f for f in fields(config_cls)}
+    updates: Dict[str, Any] = {}
+    nested: Dict[str, Dict[str, Any]] = {}
+    for key, value in overrides.items():
+        head, _, rest = str(key).partition(".")
+        if head not in field_map:
+            known = ", ".join(sorted(field_map))
+            raise ConfigurationError(
+                f"unknown {config_cls.__name__} field {head!r} (known: {known})"
+            )
+        if rest:
+            nested.setdefault(head, {})[rest] = value
+        elif is_dataclass(getattr(base, head)) and isinstance(value, dict):
+            # Natural nested-JSON form: {"trigger": {"trigger_size": 2}} is
+            # treated as overrides on the nested config, not a raw dict value.
+            nested.setdefault(head, {}).update(value)
+        else:
+            updates[head] = value
+    for head, sub in nested.items():
+        current = updates.get(head, getattr(base, head))
+        if not is_dataclass(current):
+            raise ConfigurationError(
+                f"{config_cls.__name__}.{head} is not a nested config; "
+                f"cannot apply dotted overrides {sorted(sub)}"
+            )
+        updates[head] = bind_config(type(current), sub, base=current)
+    return replace(base, **updates)
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One registered component: its factory, config class and metadata."""
+
+    name: str
+    factory: Callable[..., Any]
+    config_cls: type | None = None
+    aliases: Tuple[str, ...] = ()
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+
+class Registry:
+    """A case-insensitive name → factory registry with typed config binding."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: Dict[str, RegistryEntry] = {}
+        self._aliases: Dict[str, str] = {}
+
+    # -------------------------------------------------------------- #
+    # Registration
+    # -------------------------------------------------------------- #
+    def register(
+        self,
+        name: str,
+        *,
+        config_cls: type | None = None,
+        aliases: Iterable[str] = (),
+        metadata: Dict[str, Any] | None = None,
+        factory: Callable[..., Any] | None = None,
+    ):
+        """Register a factory under ``name``.
+
+        Decorator form (``factory`` omitted) returns the decorated object
+        unchanged; direct form registers ``factory`` immediately and returns
+        it.  ``aliases`` are alternative lookup names that do not appear in
+        :meth:`available`.
+        """
+        if factory is not None:
+            self._add(RegistryEntry(name, factory, config_cls, tuple(aliases), dict(metadata or {})))
+            return factory
+
+        def decorator(obj: Callable[..., Any]):
+            self._add(RegistryEntry(name, obj, config_cls, tuple(aliases), dict(metadata or {})))
+            return obj
+
+        return decorator
+
+    def _add(self, entry: RegistryEntry) -> None:
+        key = entry.name.lower()
+        for existing in (key, *map(str.lower, entry.aliases)):
+            if existing in self._entries or existing in self._aliases:
+                raise ConfigurationError(
+                    f"{self.kind} {existing!r} is already registered"
+                )
+        self._entries[key] = entry
+        for alias in entry.aliases:
+            self._aliases[alias.lower()] = key
+
+    def unregister(self, name: str) -> None:
+        """Remove an entry and its aliases (mainly for tests)."""
+        key = self.canonical(name)
+        entry = self._entries.pop(key)
+        for alias in entry.aliases:
+            self._aliases.pop(alias.lower(), None)
+
+    # -------------------------------------------------------------- #
+    # Lookup
+    # -------------------------------------------------------------- #
+    def __contains__(self, name: object) -> bool:
+        if not isinstance(name, str):
+            return False
+        key = name.lower()
+        return key in self._entries or key in self._aliases
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def canonical(self, name: str) -> str:
+        """Resolve ``name`` (or an alias) to its canonical registry key."""
+        key = name.lower()
+        key = self._aliases.get(key, key)
+        if key not in self._entries:
+            raise ConfigurationError(
+                f"unknown {self.kind} {name!r}; available: {', '.join(self.available())}"
+            )
+        return key
+
+    def get(self, name: str) -> RegistryEntry:
+        """Return the :class:`RegistryEntry` registered under ``name``."""
+        return self._entries[self.canonical(name)]
+
+    def available(self) -> List[str]:
+        """Sorted canonical names (aliases resolve but are not listed)."""
+        return sorted(self._entries)
+
+    def known(self) -> List[str]:
+        """Sorted canonical names *and* aliases — every string build() accepts."""
+        return sorted([*self._entries, *self._aliases])
+
+    # -------------------------------------------------------------- #
+    # Construction
+    # -------------------------------------------------------------- #
+    def build(self, name: str, config: Any = None, **overrides):
+        """Instantiate the component registered under ``name``.
+
+        With a ``config_cls``, ``overrides`` are bound onto it (dot-paths
+        reach nested configs) and passed as ``config=``; override keys that
+        match the factory signature instead of a config field are forwarded
+        as constructor keywords.  Without a ``config_cls`` all keywords go
+        straight to the factory.
+        """
+        entry = self.get(name)
+        if entry.config_cls is None:
+            if config is not None:
+                raise ConfigurationError(
+                    f"{self.kind} {name!r} does not take a config object"
+                )
+            return entry.factory(**overrides)
+
+        factory_params = self._factory_params(entry)
+        field_names = {f.name for f in fields(entry.config_cls)}
+        config_overrides: Dict[str, Any] = {}
+        init_kwargs: Dict[str, Any] = {}
+        for key, value in overrides.items():
+            head = str(key).partition(".")[0]
+            if head in field_names:
+                config_overrides[key] = value
+            elif key in factory_params:
+                init_kwargs[key] = value
+            else:
+                raise ConfigurationError(
+                    f"unknown override {key!r} for {self.kind} {name!r}: neither a "
+                    f"{entry.config_cls.__name__} field nor a constructor argument"
+                )
+        if config is None and not config_overrides:
+            bound = None  # let the component apply its registered defaults
+        else:
+            bound = bind_config(entry.config_cls, config_overrides, base=config)
+        return entry.factory(config=bound, **init_kwargs)
+
+    @staticmethod
+    def _factory_params(entry: RegistryEntry) -> set:
+        try:
+            parameters = inspect.signature(entry.factory).parameters
+        except (TypeError, ValueError):
+            return set()
+        return {p for p in parameters if p != "config"}
+
+
+#: The five component families (see module docstring).
+DATASETS = Registry("dataset")
+MODELS = Registry("model")
+CONDENSERS = Registry("condenser")
+ATTACKS = Registry("attack")
+DEFENSES = Registry("defense")
+
+
+def all_registries() -> Dict[str, Registry]:
+    """Name → registry mapping of the five component families."""
+    return {
+        "datasets": DATASETS,
+        "models": MODELS,
+        "condensers": CONDENSERS,
+        "attacks": ATTACKS,
+        "defenses": DEFENSES,
+    }

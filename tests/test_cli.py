@@ -49,6 +49,50 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["condense", "--method", "doscond"])
 
+    @pytest.mark.parametrize("alias", ["gcondx", "dcgraph", "gcsntk"])
+    def test_method_alias_spellings_still_parse(self, alias):
+        args = build_parser().parse_args(["condense", "--method", alias])
+        assert args.method == alias
+
+
+class TestRowAlignment:
+    def test_align_rows_unions_columns(self):
+        """Mixed clean/attacked sweep rows must not lose attack columns."""
+        from repro.cli import _align_rows
+
+        rows = _align_rows(
+            [{"dataset": "tiny", "C-CTA %": "90"}, {"dataset": "tiny", "ASR %": "99"}]
+        )
+        assert list(rows[0]) == ["dataset", "C-CTA %", "ASR %"]
+        assert rows[0]["ASR %"] == ""
+        assert rows[1]["ASR %"] == "99"
+
+
+class TestLegacySpecBuilder:
+    def test_seed_reaches_dataset_generation(self):
+        """--seed must control the generated graph, as it did pre-registry."""
+        from repro.cli import spec_from_legacy_args
+
+        args = build_parser().parse_args(["condense", "--seed", "5"])
+        spec = spec_from_legacy_args(args, with_attack=False)
+        assert spec.dataset.overrides["seed"] == 5
+        assert spec.seed == 5
+
+    def test_condense_and_attack_share_defaults(self):
+        """One builder serves both subcommands — defaults cannot drift."""
+        from repro.cli import spec_from_legacy_args
+
+        condense = spec_from_legacy_args(
+            build_parser().parse_args(["condense"]), with_attack=False
+        )
+        attack = spec_from_legacy_args(
+            build_parser().parse_args(["attack"]), with_attack=True
+        )
+        assert condense.condenser == attack.condenser
+        assert condense.evaluation == attack.evaluation
+        assert condense.dataset == attack.dataset
+        assert attack.attack.name == "bgc"
+
 
 class TestCommands:
     def test_datasets_command_prints_table(self, capsys):

@@ -33,6 +33,7 @@ ALL_EXAMPLES = [
     "condensation_service_audit.py",
     "fraud_detection_poisoning.py",
     "condensation_methods_comparison.py",
+    "run_sweep.py",
 ]
 
 

@@ -91,7 +91,7 @@ class TestPublicAPI:
     def test_version_exposed(self):
         import repro
 
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_top_level_exports(self):
         import repro
