@@ -31,6 +31,19 @@ configurations:
 * **attack epoch (new)** — batched update + CSR surgery + incremental
   renormalisation + incremental propagation.
 
+On top of *those*, the PR 4 section times the **complete BGC attack epoch**
+(surrogate retrain on the condensed graph + generator update + trigger
+attachment + condensation step — ``BGC.run``'s real per-epoch body, driven
+through the attack's own internals) in two configurations:
+
+* **materialised (PR 2)** — cold autograd surrogate retrain every epoch,
+  poisoned graph materialised via ``attach_trigger_subgraph`` +
+  ``with_delta`` (pays the ``(N, F)`` feature vstack);
+* **view (PR 4)** — warm-started closed-form surrogate refresh
+  (``surrogate_warm_start`` on the attack *and* the condenser), poisoned
+  graph as a zero-copy ``GraphView``, propagation read in difference form
+  (no per-epoch ``(N, F)`` materialisation anywhere).
+
 Claims checked:
 
 1. the incremental propagation path is **exact**: its propagated features
@@ -39,7 +52,11 @@ Claims checked:
 3. the cached and incremental attack-loop condensation epochs are **≥ 3×
    faster** than the seed epoch at seed scale;
 4. the new full attack epoch is **≥ 1.5× faster** than the PR 1 attack epoch
-   at Cora scale.
+   at Cora scale;
+5. the view-path difference-form propagation is **exact** (``atol=1e-10``
+   against a cold recompute of the final poisoned view);
+6. the view+warm-start BGC attack epoch is **≥ 1.3× faster** than the PR 2
+   materialised BGC attack epoch at Cora scale.
 
 Run standalone (CI smoke uses tiny sizes and skips the speedup assertion,
 which is meaningless for graphs that fit in cache lines)::
@@ -95,6 +112,9 @@ SPEEDUP_FLOOR = 3.0
 #: Floor for the full attack epoch (generator update + attachment +
 #: condensation step): new path vs the PR 1 path.
 EPOCH_SPEEDUP_FLOOR = 1.5
+#: Floor for the complete BGC attack epoch (incl. surrogate retrain):
+#: zero-copy view + warm-start path vs the PR 2 materialised path.
+VIEW_EPOCH_SPEEDUP_FLOOR = 1.3
 GENERATOR_STEPS = 2
 UPDATE_BATCH = 12
 MAX_NEIGHBORS = 10
@@ -216,13 +236,13 @@ class _PR1NormalizeCache(PropagationCache):
 
     def normalized(self, graph: GraphData):
         with self._lock:
-            entry = self._entries.get(graph.version)
+            entry = self._lookup(graph)
             if entry is not None and entry.normalized is not None:
-                self._entries.move_to_end(graph.version)
                 self.hits += 1
                 return entry.normalized
             self.misses += 1
-            entry = self._entry(graph.version)
+            shard = self._shard(self._shard_key(graph))
+            entry = self._entry(shard, self._key(graph))
             self._set_normalized(
                 entry, gcn_normalize(graph.adjacency), self_loop_degrees(graph.adjacency)
             )
@@ -374,6 +394,109 @@ def run_attack_epoch_comparison(
     }
 
 
+def run_view_epoch_comparison(
+    smoke: bool = SMOKE,
+    timed_epochs: int = TIMED_EPOCHS,
+    graph: GraphData = None,
+) -> Dict[str, float]:
+    """Time the complete BGC attack epoch: materialised (PR 2) vs view (PR 4).
+
+    Unlike :func:`run_attack_epoch_comparison` (which isolates the three
+    non-surrogate components), this drives the attack's *own* per-epoch
+    internals — ``BGC._train_surrogate`` → ``BGC._update_generator`` →
+    ``BGC._build_poisoned_graph`` → ``condenser.epoch_step`` — so the
+    cross-epoch surrogate batching is part of the measured epoch, exactly as
+    it is in ``BGC.run``.  The two regimes differ only in the PR 4 flags:
+
+    * materialised: ``use_graph_view=False``, full surrogate retrain per
+      epoch (attack and condenser) — the PR 2 shipping configuration;
+    * view: ``use_graph_view=True``, ``surrogate_warm_start=True`` on both.
+    """
+    from repro.attack.bgc import BGC, BGCConfig
+    from repro.graph.splits import SplitIndices
+
+    if graph is None:
+        graph = _build_graph(smoke)
+    select_rng, trigger_seed_rng = spawn_rngs(3, 2)
+    train = graph.split.train
+    budget = max(3, train.size // 10)
+    targets = np.sort(select_rng.choice(train, size=budget, replace=False))
+    trigger_seed = int(trigger_seed_rng.integers(0, 2**31))
+
+    # The poisoned-label scaffold BGC.run builds once per run.
+    poisoned_labels = graph.labels.copy()
+    poisoned_labels[targets] = 0
+    base_poisoned = graph.with_(
+        labels=poisoned_labels,
+        split=SplitIndices(
+            train=np.union1d(graph.split.train, targets),
+            val=graph.split.val,
+            test=graph.split.test,
+        ),
+    )
+
+    def run_regime(use_view: bool) -> Dict[str, object]:
+        cache = PropagationCache()
+        condenser = GCondX(
+            CondensationConfig(
+                epochs=1,
+                ratio=0.05,
+                surrogate_warm_start=use_view,
+                surrogate_refresh_steps=2 if use_view else None,
+            ),
+            cache=cache,
+        )
+        condenser.initialize(base_poisoned, new_rng(0))
+        attack = BGC(
+            BGCConfig(
+                poison_number=budget,
+                epochs=1,
+                use_graph_view=use_view,
+                surrogate_warm_start=use_view,
+                surrogate_refresh_steps=5,
+                trigger=TriggerConfig(trigger_size=TRIGGER_SIZE),
+            )
+        )
+        generator, optimizer, encoder_inputs = _fresh_generator(graph)
+        rng = new_rng(trigger_seed)
+        times = []
+        poisoned = None
+        for index in range(timed_epochs + 1):
+            start = time.perf_counter()
+            condensed = condenser.synthetic()
+            surrogate_weight = attack._train_surrogate(condensed, rng)
+            attack._update_generator(
+                graph, encoder_inputs, generator, optimizer, surrogate_weight, rng
+            )
+            poisoned = attack._build_poisoned_graph(
+                graph, base_poisoned, generator, targets
+            )
+            condenser.epoch_step(poisoned)
+            elapsed = time.perf_counter() - start
+            if index > 0:  # first epoch is warm-up
+                times.append(elapsed)
+        return {"epoch_ms": median(times) * 1e3, "poisoned": poisoned, "cache": cache}
+
+    materialised = run_regime(use_view=False)
+    view = run_regime(use_view=True)
+
+    # Exactness of the final view epoch's difference-form propagation.
+    view_cache: PropagationCache = view["cache"]
+    last_view = view["poisoned"]
+    lazy = view_cache.propagated_view(last_view, NUM_HOPS)
+    reference = sgc_precompute(
+        last_view.adjacency, last_view.features.materialize(), NUM_HOPS
+    )
+    view_max_abs_err = float(np.abs(lazy.materialize() - reference).max())
+
+    return {
+        "materialised_epoch_ms": materialised["epoch_ms"],
+        "view_epoch_ms": view["epoch_ms"],
+        "view_epoch_speedup": materialised["epoch_ms"] / view["epoch_ms"],
+        "view_max_abs_err": view_max_abs_err,
+    }
+
+
 def run_hotpath(smoke: bool = SMOKE, timed_epochs: int = TIMED_EPOCHS) -> Dict[str, float]:
     graph = _build_graph(smoke)
     select_rng, trigger_seed_rng = spawn_rngs(1, 2)
@@ -449,6 +572,9 @@ def run_hotpath(smoke: bool = SMOKE, timed_epochs: int = TIMED_EPOCHS) -> Dict[s
     results.update(
         run_attack_epoch_comparison(smoke=smoke, timed_epochs=timed_epochs, graph=graph)
     )
+    results.update(
+        run_view_epoch_comparison(smoke=smoke, timed_epochs=timed_epochs, graph=graph)
+    )
     return results
 
 
@@ -488,6 +614,15 @@ def _report(results: Dict[str, float]) -> None:
         )
     print(f"max |incremental - full gcn_normalize|: {results['norm_max_abs_err']:.3e}")
 
+    print_header("Complete BGC attack epoch: materialised (PR 2) vs view (PR 4)")
+    print(f"{'path':<22}{'epoch (ms)':>12}{'speedup':>10}")
+    print(f"{'materialised (PR 2)':<22}{results['materialised_epoch_ms']:>12.2f}{1.0:>10.2f}")
+    print(
+        f"{'view + warm start':<22}{results['view_epoch_ms']:>12.2f}"
+        f"{results['view_epoch_speedup']:>10.2f}"
+    )
+    print(f"max |view propagation - full recompute|: {results['view_max_abs_err']:.3e}")
+
 
 def test_hotpath_cached_and_incremental_speedup():
     results = run_hotpath()
@@ -500,10 +635,15 @@ def test_hotpath_cached_and_incremental_speedup():
         "incremental normalisation diverged from the full recompute: "
         f"{results['norm_max_abs_err']:.3e}"
     )
+    assert results["view_max_abs_err"] <= EQUIVALENCE_ATOL, (
+        "view-path difference-form propagation diverged from the full "
+        f"recompute: {results['view_max_abs_err']:.3e}"
+    )
     if not SMOKE:
         assert results["speedup_cached"] >= SPEEDUP_FLOOR, results
         assert results["speedup_incremental"] >= SPEEDUP_FLOOR, results
         assert results["epoch_speedup"] >= EPOCH_SPEEDUP_FLOOR, results
+        assert results["view_epoch_speedup"] >= VIEW_EPOCH_SPEEDUP_FLOOR, results
 
 
 if __name__ == "__main__":
@@ -521,9 +661,15 @@ if __name__ == "__main__":
         raise SystemExit("propagation equivalence check FAILED")
     if outcome["norm_max_abs_err"] > EQUIVALENCE_ATOL:
         raise SystemExit("normalisation equivalence check FAILED")
+    if outcome["view_max_abs_err"] > EQUIVALENCE_ATOL:
+        raise SystemExit("view-path propagation equivalence check FAILED")
     if not (args.smoke or SMOKE):
         if min(outcome["speedup_cached"], outcome["speedup_incremental"]) < SPEEDUP_FLOOR:
             raise SystemExit(f"speedup below {SPEEDUP_FLOOR}x")
         if outcome["epoch_speedup"] < EPOCH_SPEEDUP_FLOOR:
             raise SystemExit(f"attack-epoch speedup below {EPOCH_SPEEDUP_FLOOR}x")
+        if outcome["view_epoch_speedup"] < VIEW_EPOCH_SPEEDUP_FLOOR:
+            raise SystemExit(
+                f"view attack-epoch speedup below {VIEW_EPOCH_SPEEDUP_FLOOR}x"
+            )
     print("\nhot-path benchmark OK")

@@ -93,17 +93,21 @@ class ComponentSpec:
 
     @property
     def is_set(self) -> bool:
+        """Whether this component names anything (``None`` means absent)."""
         return self.name is not None
 
     def with_name(self, name: str | None) -> "ComponentSpec":
+        """Copy of this spec with the component name replaced, overrides kept."""
         return ComponentSpec(name=name, overrides=dict(self.overrides))
 
     def with_override(self, key: str, value: Any) -> "ComponentSpec":
+        """Copy of this spec with one override key set (dot-paths allowed)."""
         merged = dict(self.overrides)
         merged[key] = value
         return ComponentSpec(name=self.name, overrides=merged)
 
     def to_dict(self) -> Dict[str, Any]:
+        """The full serialized form ``{"name": ..., "overrides": {...}}``."""
         return {"name": self.name, "overrides": dict(self.overrides)}
 
 
@@ -179,10 +183,12 @@ class ExperimentSpec:
         return cls(**kwargs)
 
     def to_json(self, indent: int | None = 2) -> str:
+        """Serialize to a canonical (sorted-keys) JSON string."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     @classmethod
     def from_json(cls, text: str) -> "ExperimentSpec":
+        """Parse a JSON string produced by :meth:`to_json` (or hand-written)."""
         return cls.from_dict(json.loads(text))
 
     # -------------------------------------------------------------- #
@@ -267,6 +273,7 @@ class SweepSpec:
 
     @property
     def num_cells(self) -> int:
+        """Number of cells the cartesian product expands to."""
         count = 1
         for values in self.axes.values():
             count *= len(values)
@@ -291,6 +298,7 @@ class SweepSpec:
     # Serialization
     # -------------------------------------------------------------- #
     def to_dict(self) -> Dict[str, Any]:
+        """Exact, JSON-compatible representation (round-trips via from_dict)."""
         return {
             "name": self.name,
             "seed": self.seed,
@@ -314,8 +322,10 @@ class SweepSpec:
         )
 
     def to_json(self, indent: int | None = 2) -> str:
+        """Serialize to a canonical (sorted-keys) JSON string."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     @classmethod
     def from_json(cls, text: str) -> "SweepSpec":
+        """Parse a JSON string produced by :meth:`to_json` (or hand-written)."""
         return cls.from_dict(json.loads(text))

@@ -32,7 +32,7 @@ from repro.exceptions import AttackError
 from repro.graph.data import GraphData
 from repro.graph.normalize import dense_gcn_normalize
 from repro.graph.splits import SplitIndices
-from repro.graph.subgraph import attach_trigger_subgraph
+from repro.graph.view import poison_graph_view
 from repro.registry import ATTACKS
 from repro.utils.logging import get_logger
 
@@ -200,21 +200,26 @@ class DoorpingAttack:
         base_poisoned: GraphData,
         generator: UniversalTriggerGenerator,
         poisoned_nodes: np.ndarray,
-    ) -> GraphData:
+    ):
+        """Per-epoch poisoned graph as a zero-copy view.
+
+        DOORPING interleaves trigger refreshes with condensation exactly like
+        BGC, so it gets the same hot-path treatment: the poisoned graph is a
+        :class:`~repro.graph.view.GraphView` (no per-epoch feature vstack)
+        whose recorded delta lets the shared cache propagate it
+        incrementally.  (Before PR 4 this built a derivation-free
+        ``GraphData`` and silently paid a full propagation every epoch.)
+        """
         features, adjacency = generate_hard_triggers(
             generator, working.adjacency, working.features, poisoned_nodes
         )
-        new_adjacency, new_features, _ = attach_trigger_subgraph(
-            working.adjacency, working.features, poisoned_nodes, features, adjacency
-        )
-        num_new = new_features.shape[0] - working.num_nodes
-        trigger_labels = np.full(num_new, self.config.target_class, dtype=np.int64)
-        new_labels = np.concatenate([base_poisoned.labels, trigger_labels])
-        return GraphData(
-            adjacency=new_adjacency,
-            features=new_features,
-            labels=new_labels,
+        return poison_graph_view(
+            working,
+            poisoned_nodes,
+            features,
+            adjacency,
+            labels=base_poisoned.labels,
+            trigger_label=self.config.target_class,
             split=base_poisoned.split.copy(),
             name=f"{working.name}-doorping",
-            inductive=False,
         )

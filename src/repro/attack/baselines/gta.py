@@ -31,7 +31,7 @@ from repro.exceptions import AttackError
 from repro.graph.data import GraphData
 from repro.graph.propagation import sgc_precompute
 from repro.graph.splits import SplitIndices
-from repro.graph.subgraph import attach_trigger_subgraph
+from repro.graph.view import poison_graph_view
 from repro.registry import ATTACKS
 from repro.utils.logging import get_logger
 
@@ -164,24 +164,31 @@ class GTAAttack:
         generator: TriggerGenerator,
         poisoned_nodes: np.ndarray,
     ) -> GraphData:
+        """Poison the graph once, up front (the GTA threat model).
+
+        Unlike the per-epoch streams of BGC/DOORPING, this graph is condensed
+        for many epochs, so it is materialised — but through the shared
+        :func:`~repro.graph.view.poison_graph_view` builder, whose
+        :meth:`~repro.graph.view.GraphView.materialize` records the delta
+        against ``working``: the condenser's *first* propagation of the
+        poisoned graph is incremental instead of a cold full recompute.
+        """
         features, adjacency = generate_hard_triggers(
             generator, working.adjacency, working.features, poisoned_nodes
         )
-        new_adjacency, new_features, _ = attach_trigger_subgraph(
-            working.adjacency, working.features, poisoned_nodes, features, adjacency
-        )
         labels = working.labels.copy()
         labels[poisoned_nodes] = self.config.target_class
-        num_new = new_features.shape[0] - working.num_nodes
-        labels = np.concatenate([labels, np.full(num_new, self.config.target_class, dtype=np.int64)])
         train = np.union1d(working.split.train, poisoned_nodes)
-        return GraphData(
-            adjacency=new_adjacency,
-            features=new_features,
+        view = poison_graph_view(
+            working,
+            poisoned_nodes,
+            features,
+            adjacency,
             labels=labels,
+            trigger_label=self.config.target_class,
             split=SplitIndices(train=train, val=working.split.val, test=working.split.test),
             name=f"{working.name}-gta",
-            inductive=False,
         )
+        return view.materialize()
 
 

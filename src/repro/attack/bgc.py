@@ -35,12 +35,16 @@ from repro.attack.trigger import (
 from repro.autograd import Adam, Parameter, Tensor
 from repro.autograd import functional as F
 from repro.condensation.base import CondensedGraph, Condenser
-from repro.condensation.gradient_matching import normalize_dense_tensor
+from repro.condensation.gradient_matching import (
+    closed_form_surrogate_steps,
+    normalize_dense_tensor,
+)
 from repro.exceptions import AttackError
 from repro.graph.data import GraphData
 from repro.graph.normalize import dense_gcn_normalize
 from repro.graph.splits import SplitIndices
 from repro.graph.subgraph import attach_trigger_subgraph
+from repro.graph.view import poison_graph_view
 from repro.registry import ATTACKS
 from repro.utils.logging import get_logger
 
@@ -64,6 +68,21 @@ class BGCConfig:
     directed: bool = False
     source_class: int | None = None
     use_random_selection: bool = False
+    #: Build the per-epoch poisoned graph as a zero-copy
+    #: :class:`~repro.graph.view.GraphView` instead of materialising the
+    #: ``(N + P·t, F)`` feature vstack.  Bit-identical results either way
+    #: (pinned by the hot-path equivalence tests); False is the materialised
+    #: reference path.
+    use_graph_view: bool = True
+    #: Carry the surrogate weight and Adam moments across attack epochs and
+    #: retrain with ``surrogate_refresh_steps`` closed-form steps per epoch
+    #: instead of a fresh ``surrogate_steps``-step autograd run.  False is
+    #: the full-retrain reference path (the paper's Algorithm 1 verbatim).
+    surrogate_warm_start: bool = False
+    #: Steps per warm epoch after the first (``None`` = ``surrogate_steps``);
+    #: same semantics and default as the condenser-side
+    #: :attr:`repro.condensation.base.CondensationConfig.surrogate_refresh_steps`.
+    surrogate_refresh_steps: int | None = None
     trigger: TriggerConfig = field(default_factory=TriggerConfig)
     selection: SelectionConfig = field(default_factory=SelectionConfig)
 
@@ -80,6 +99,10 @@ class BGCConfig:
             raise AttackError("generator_steps must be >= 0")
         if self.update_batch_size < 1:
             raise AttackError("update_batch_size must be >= 1")
+        if self.surrogate_refresh_steps is not None and self.surrogate_refresh_steps < 1:
+            raise AttackError(
+                f"surrogate_refresh_steps must be >= 1, got {self.surrogate_refresh_steps}"
+            )
         if self.directed and self.source_class is None:
             raise AttackError("directed attacks require a source_class")
 
@@ -101,6 +124,8 @@ class BGC:
 
     def __init__(self, config: BGCConfig | None = None) -> None:
         self.config = config or BGCConfig()
+        #: Warm-start surrogate lineage (weight + Adam moments); reset per run.
+        self._surrogate_state: dict | None = None
 
     # -------------------------------------------------------------- #
     # Public entry point
@@ -138,6 +163,7 @@ class BGC:
         generator.calibrate(working.features)
         generator_optimizer = Adam(generator.parameters(), lr=config.trigger.learning_rate)
         encoder_inputs = generator.encode_inputs(working.adjacency, working.features)
+        self._surrogate_state = None  # fresh warm-start lineage per run
 
         history: List[Dict[str, float]] = []
         for epoch in range(config.epochs):
@@ -208,22 +234,68 @@ class BGC:
     def _train_surrogate(
         self, condensed: CondensedGraph, rng: np.random.Generator
     ) -> np.ndarray:
-        """Train an SGC surrogate on the condensed graph; return its weight matrix."""
+        """Train an SGC surrogate on the condensed graph; return its weight matrix.
+
+        Two regimes, selected by ``config.surrogate_warm_start``:
+
+        * **full retrain** (the reference, default): a fresh weight and a
+          fresh autograd Adam run of ``surrogate_steps`` per attack epoch —
+          Algorithm 1 verbatim;
+        * **warm start**: the weight and Adam moments persist across epochs
+          (the condensed graph moves a little per epoch, so the surrogate is
+          one continuous optimisation batched across attack epochs), epochs
+          after the first run only ``surrogate_refresh_steps`` closed-form
+          gradient steps — ``H^T (softmax(HW) - Y)/n`` fed straight into
+          Adam, no autograd graph.
+        """
+        config = self.config
+        if not config.surrogate_warm_start:
+            propagated = self._propagate_condensed(condensed)
+            num_classes = max(int(condensed.labels.max()) + 1, config.target_class + 1)
+            weight = Parameter(
+                rng.normal(scale=0.1, size=(condensed.features.shape[1], num_classes))
+            )
+            optimizer = Adam([weight], lr=config.surrogate_lr)
+            inputs = Tensor(propagated)
+            for _ in range(config.surrogate_steps):
+                optimizer.zero_grad()
+                logits = inputs.matmul(weight)
+                loss = F.cross_entropy(logits, condensed.labels)
+                loss.backward()
+                optimizer.step()
+            return weight.data.copy()
+        return self._train_surrogate_warm(condensed, rng)
+
+    def _train_surrogate_warm(
+        self, condensed: CondensedGraph, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Warm-start leg of :meth:`_train_surrogate` (closed-form steps)."""
         config = self.config
         propagated = self._propagate_condensed(condensed)
-        num_classes = max(int(condensed.labels.max()) + 1, self.config.target_class + 1)
-        weight = Parameter(
-            rng.normal(scale=0.1, size=(condensed.features.shape[1], num_classes))
+        num_classes = max(int(condensed.labels.max()) + 1, config.target_class + 1)
+        shape = (condensed.features.shape[1], num_classes)
+        state = self._surrogate_state
+        if state is None or state["weight"].shape != shape:
+            state = {
+                "weight": rng.normal(scale=0.1, size=shape),
+                "m": np.zeros(shape),
+                "v": np.zeros(shape),
+                "step": 0,
+            }
+            self._surrogate_state = state
+            steps = config.surrogate_steps
+        else:
+            steps = (
+                config.surrogate_refresh_steps
+                if config.surrogate_refresh_steps is not None
+                else config.surrogate_steps
+            )
+        closed_form_surrogate_steps(
+            propagated, condensed.labels, state["weight"], state["m"], state["v"],
+            state["step"], steps, config.surrogate_lr,
         )
-        optimizer = Adam([weight], lr=config.surrogate_lr)
-        inputs = Tensor(propagated)
-        for _ in range(config.surrogate_steps):
-            optimizer.zero_grad()
-            logits = inputs.matmul(weight)
-            loss = F.cross_entropy(logits, condensed.labels)
-            loss.backward()
-            optimizer.step()
-        return weight.data.copy()
+        state["step"] += steps
+        return state["weight"].copy()
 
     def _propagate_condensed(self, condensed: CondensedGraph) -> np.ndarray:
         adjacency = condensed.adjacency
@@ -292,7 +364,7 @@ class BGC:
         base_poisoned: GraphData,
         generator: TriggerGenerator,
         poisoned_nodes: np.ndarray,
-    ) -> GraphData:
+    ):
         """Attach the current triggers to the poisoned nodes of the original graph.
 
         The result is recorded as a delta against ``working``: the only
@@ -301,21 +373,40 @@ class BGC:
         through :class:`~repro.graph.cache.PropagationCache` recomputes only
         the triggers' K-hop neighbourhood each attack epoch instead of the
         whole graph.
+
+        With ``config.use_graph_view`` (the default) the poisoned graph is a
+        zero-copy :class:`~repro.graph.view.GraphView` — trigger rows overlay
+        the base feature matrix instead of being vstacked under it, and the
+        condenser reads propagated features in difference form.  The
+        materialised ``GraphData`` branch below is the pinned reference path;
+        both produce bit-identical condensation steps (asserted in
+        ``tests/test_hotpath_equivalence.py``).
         """
         features, adjacency = generate_hard_triggers(
             generator, working.adjacency, working.features, poisoned_nodes
         )
+        if self.config.use_graph_view:
+            return poison_graph_view(
+                working,
+                poisoned_nodes,
+                features,
+                adjacency,
+                labels=base_poisoned.labels,
+                trigger_label=self.config.target_class,
+                split=base_poisoned.split.copy(),
+                name=f"{working.name}-poisoned",
+                metadata=dict(working.metadata),
+            )
         new_adjacency, new_features, _ = attach_trigger_subgraph(
             working.adjacency, working.features, poisoned_nodes, features, adjacency
         )
         num_new = new_features.shape[0] - working.num_nodes
         trigger_labels = np.full(num_new, self.config.target_class, dtype=np.int64)
-        new_labels = np.concatenate([base_poisoned.labels, trigger_labels])
         return working.with_delta(
             poisoned_nodes,
             adjacency=new_adjacency,
             features=new_features,
-            labels=new_labels,
+            labels=np.concatenate([base_poisoned.labels, trigger_labels]),
             split=base_poisoned.split.copy(),
             name=f"{working.name}-poisoned",
             metadata=dict(working.metadata),

@@ -83,6 +83,15 @@ class CondensationConfig:
     lr_structure: float = 0.01
     surrogate_lr: float = 0.05
     surrogate_steps: int = 10
+    #: Carry the surrogate weight and its Adam moments across ``epoch_step``
+    #: calls instead of re-initialising per epoch.  After the first epoch only
+    #: ``surrogate_refresh_steps`` refresh steps run — this is the
+    #: cross-epoch surrogate batching the attack loop uses; the default False
+    #: keeps the paper-faithful fresh-surrogate-per-epoch reference path.
+    surrogate_warm_start: bool = False
+    #: Steps per warm epoch (``None`` = ``surrogate_steps``).  Ignored unless
+    #: ``surrogate_warm_start`` is set.
+    surrogate_refresh_steps: int | None = None
     distance: str = "cosine"
     structure_hidden: int = 64
     feature_init_noise: float = 0.05
@@ -104,6 +113,8 @@ class CondensationConfig:
                 raise ConfigurationError(f"{name} must be positive")
         if self.surrogate_steps < 1:
             raise ConfigurationError("surrogate_steps must be >= 1")
+        if self.surrogate_refresh_steps is not None and self.surrogate_refresh_steps < 1:
+            raise ConfigurationError("surrogate_refresh_steps must be >= 1")
 
 
 class Condenser:

@@ -180,10 +180,13 @@ class GCSNTK(Condenser):
             raise CondensationError("GC-SNTK initialisation produced no support points")
         return np.vstack(features), np.asarray(labels, dtype=np.int64)
 
-    def _real_propagated(self, graph: GraphData) -> np.ndarray:
+    def _real_propagated(self, graph: GraphData):
         # Version-keyed shared cache (see repro.graph.cache): replaces the
         # fragile id()-keyed memo that could serve stale features after
-        # garbage collection recycled an address.
+        # garbage collection recycled an address.  GraphViews take the
+        # difference-form path; epoch_step only gathers the training rows.
+        if getattr(graph, "is_view", False):
+            return self._cache.propagated_view(graph, self.config.num_hops)
         return self._cache.propagated(graph, self.config.num_hops)
 
     def _require_state(self) -> _SNTKState:

@@ -121,6 +121,49 @@ def all_class_model_gradients(
     return gradients
 
 
+def closed_form_surrogate_steps(
+    propagated: np.ndarray,
+    labels: np.ndarray,
+    weight: np.ndarray,
+    first_moment: np.ndarray,
+    second_moment: np.ndarray,
+    start_step: int,
+    steps: int,
+    lr: float,
+) -> float:
+    """``steps`` closed-form CE/Adam updates of a linear surrogate, in place.
+
+    The surrogate is linear in ``weight``, so the cross-entropy gradient has
+    the closed form ``H^T (softmax(HW) - Y) / n`` — no autograd graph is
+    built.  ``weight`` and the Adam moment buffers are updated in place;
+    ``start_step`` continues the bias-correction counter, which is what lets
+    callers batch one surrogate optimisation across attack epochs (the BGC
+    warm start and ``GradientMatchingCondenser.train_surrogate`` both drive
+    this loop).  Returns the last step's loss.
+    """
+    count = labels.size
+    row_index = np.arange(count)
+    targets = np.zeros((count, weight.shape[1]))
+    targets[row_index, labels] = 1.0
+    beta1, beta2, eps = 0.9, 0.999, 1e-8
+    loss_value = np.nan
+    for step in range(start_step + 1, start_step + steps + 1):
+        logits = propagated @ weight
+        logits -= logits.max(axis=1, keepdims=True)
+        log_norm = np.log(np.exp(logits).sum(axis=1, keepdims=True))
+        loss_value = float(-np.mean(logits[row_index, labels] - log_norm[:, 0]))
+        gradient = propagated.T @ (np.exp(logits - log_norm) - targets)
+        gradient /= count
+        first_moment *= beta1
+        first_moment += (1.0 - beta1) * gradient
+        second_moment *= beta2
+        second_moment += (1.0 - beta2) * np.square(gradient)
+        m_hat = first_moment / (1.0 - beta1**step)
+        v_hat = second_moment / (1.0 - beta2**step)
+        weight -= lr * m_hat / (np.sqrt(v_hat) + eps)
+    return loss_value
+
+
 def gradient_distance(real: np.ndarray, synthetic: Tensor, metric: str = "cosine") -> Tensor:
     """Distance between a constant real gradient and a synthetic-gradient tensor.
 
@@ -195,6 +238,11 @@ class _SyntheticState:
     structure_generator: StructureGenerator | None
     feature_optimizer: Adam
     structure_optimizer: Adam | None
+    #: Persistent Adam moments of the surrogate — (m, v, step) — carried
+    #: across ``epoch_step`` calls when ``surrogate_warm_start`` is set.
+    surrogate_moments: tuple | None = None
+    #: Total surrogate steps taken since the last (re-)initialisation.
+    surrogate_steps_done: int = 0
 
 
 class GradientMatchingCondenser(Condenser):
@@ -267,12 +315,14 @@ class GradientMatchingCondenser(Condenser):
         )
 
     def reset_surrogate(self, rng: np.random.Generator | None = None) -> None:
-        """Re-initialise the surrogate weight (start of every outer epoch)."""
+        """Re-initialise the surrogate weight (start of every cold outer epoch)."""
         state = self._require_state()
         generator = rng if rng is not None else self._rng
         state.surrogate_weight.data = generator.normal(
             scale=0.1, size=state.surrogate_weight.data.shape
         )
+        state.surrogate_moments = None
+        state.surrogate_steps_done = 0
 
     def train_surrogate(self, steps: int | None = None) -> float:
         """Train the surrogate weight on the current synthetic graph.
@@ -281,38 +331,33 @@ class GradientMatchingCondenser(Condenser):
         closed form ``H^T (softmax(HW) - Y) / n``.  The loop feeds that
         directly into Adam instead of building an autograd graph every step —
         the same update, an order of magnitude less per-step overhead (this
-        runs once per attack epoch inside the BGC hot loop).
+        runs once per attack epoch inside the BGC hot loop).  Under
+        ``surrogate_warm_start`` the Adam moments and step counter persist on
+        the state, so successive ``epoch_step`` calls continue one
+        optimisation instead of restarting it.
         """
         state = self._require_state()
         steps = steps if steps is not None else self.config.surrogate_steps
         propagated = self._synthetic_propagated(detach=True).data
         weight = state.surrogate_weight.data
-        labels = state.labels
-        count = labels.size
-        row_index = np.arange(count)
-        targets = np.zeros((count, weight.shape[1]))
-        targets[row_index, labels] = 1.0
-        # Inline Adam (same update as repro.autograd.Adam) with reused moment
-        # buffers — the optimiser-object overhead is comparable to the actual
-        # flops at condensed-graph scale.
-        lr, beta1, beta2, eps = self.config.surrogate_lr, 0.9, 0.999, 1e-8
-        first_moment = np.zeros_like(weight)
-        second_moment = np.zeros_like(weight)
-        loss_value = np.nan
-        for step in range(1, steps + 1):
-            logits = propagated @ weight
-            logits -= logits.max(axis=1, keepdims=True)
-            log_norm = np.log(np.exp(logits).sum(axis=1, keepdims=True))
-            loss_value = float(-np.mean(logits[row_index, labels] - log_norm[:, 0]))
-            gradient = propagated.T @ (np.exp(logits - log_norm) - targets)
-            gradient /= count
-            first_moment *= beta1
-            first_moment += (1.0 - beta1) * gradient
-            second_moment *= beta2
-            second_moment += (1.0 - beta2) * np.square(gradient)
-            m_hat = first_moment / (1.0 - beta1**step)
-            v_hat = second_moment / (1.0 - beta2**step)
-            weight -= lr * m_hat / (np.sqrt(v_hat) + eps)
+        # Closed-form steps (same update as repro.autograd.Adam) with reused
+        # moment buffers — the optimiser-object overhead is comparable to the
+        # actual flops at condensed-graph scale.
+        warm = self.config.surrogate_warm_start
+        if warm and state.surrogate_moments is not None:
+            first_moment, second_moment = state.surrogate_moments
+            start = state.surrogate_steps_done
+        else:
+            first_moment = np.zeros_like(weight)
+            second_moment = np.zeros_like(weight)
+            start = 0
+        loss_value = closed_form_surrogate_steps(
+            propagated, state.labels, weight, first_moment, second_moment,
+            start, steps, self.config.surrogate_lr,
+        )
+        if warm:
+            state.surrogate_moments = (first_moment, second_moment)
+            state.surrogate_steps_done = start + steps
         return float(loss_value)
 
     def surrogate_weight(self) -> np.ndarray:
@@ -383,12 +428,30 @@ class GradientMatchingCondenser(Condenser):
         return float(total_loss.item())
 
     def epoch_step(self, real_graph: GraphData | None = None) -> float:
-        """One full condensation epoch: fresh surrogate, inner training, matching.
+        """One full condensation epoch: surrogate training, then matching.
 
-        This is the hook the BGC attack drives with the current poisoned graph.
+        This is the hook the BGC attack drives with the current poisoned
+        graph (a :class:`~repro.graph.data.GraphData` or a zero-copy
+        :class:`~repro.graph.view.GraphView`).  By default every epoch
+        re-initialises and fully retrains the surrogate — the paper-faithful
+        reference.  With ``surrogate_warm_start`` the surrogate (weight and
+        Adam moments) persists across epochs and later epochs run only
+        ``surrogate_refresh_steps`` steps: the synthetic graph moves a little
+        per epoch, so continuing one optimisation tracks it at a fraction of
+        the retrain cost.
         """
-        self.reset_surrogate()
-        self.train_surrogate()
+        config = self.config
+        state = self._require_state()
+        if config.surrogate_warm_start and state.surrogate_steps_done > 0:
+            refresh = (
+                config.surrogate_refresh_steps
+                if config.surrogate_refresh_steps is not None
+                else config.surrogate_steps
+            )
+            self.train_surrogate(refresh)
+        else:
+            self.reset_surrogate()
+            self.train_surrogate()
         return self.outer_step(real_graph)
 
     def synthetic(self) -> CondensedGraph:
@@ -465,13 +528,21 @@ class GradientMatchingCondenser(Condenser):
             raise CondensationError("synthetic initialisation produced no nodes")
         return np.vstack(features), np.asarray(labels, dtype=np.int64), class_index
 
-    def _real_propagated(self, graph: GraphData) -> np.ndarray:
+    def _real_propagated(self, graph: GraphData):
+        """Propagated real features; rows are read via ``result[index]``.
+
+        The clean condensation loop hits the shared cache's memo every epoch;
+        a delta-carrying poisoned ``GraphData`` is propagated incrementally,
+        and a zero-copy :class:`~repro.graph.view.GraphView` takes the
+        difference-form path — the returned
+        :class:`~repro.graph.view.PropagatedView` never materialises the
+        ``(N, F)`` product, and :func:`all_class_model_gradients` only
+        gathers the training rows from it.
+        """
         if not self.propagate_real:
             return graph.features
-        # Version-keyed shared cache: the clean condensation loop hits the
-        # memo every epoch, and the BGC attack's per-epoch poisoned graphs
-        # (built with GraphData.with_delta) are propagated incrementally —
-        # only the trigger neighbourhood is recomputed, not the whole graph.
+        if getattr(graph, "is_view", False):
+            return self._cache.propagated_view(graph, self.config.num_hops)
         return self._cache.propagated(graph, self.config.num_hops)
 
     def _synthetic_propagated(self, detach: bool) -> Tensor:

@@ -1,6 +1,12 @@
 """Graph substrate: data containers, normalisation, propagation and caching."""
 
-from repro.graph.data import GraphData, GraphDelta
+from repro.graph.data import GraphData, GraphDelta, next_version
+from repro.graph.view import (
+    GraphView,
+    PropagatedView,
+    StackedFeatures,
+    poison_graph_view,
+)
 from repro.graph.normalize import (
     gcn_normalize,
     incremental_gcn_normalize,
@@ -12,6 +18,7 @@ from repro.graph.normalize import (
 from repro.graph.propagation import (
     sgc_precompute,
     sgc_precompute_hops,
+    incremental_sgc_delta,
     incremental_sgc_precompute,
     reachable_rows,
     appnp_propagate,
@@ -21,6 +28,7 @@ from repro.graph.cache import PropagationCache, get_default_cache, set_default_c
 from repro.graph.subgraph import (
     k_hop_subgraph,
     induced_subgraph,
+    attach_trigger_adjacency,
     attach_trigger_subgraph,
     attach_trigger_subgraph_coo,
 )
@@ -34,6 +42,11 @@ from repro.graph.splits import SplitIndices, make_planetoid_split, make_inductiv
 __all__ = [
     "GraphData",
     "GraphDelta",
+    "next_version",
+    "GraphView",
+    "PropagatedView",
+    "StackedFeatures",
+    "poison_graph_view",
     "PropagationCache",
     "get_default_cache",
     "set_default_cache",
@@ -45,12 +58,14 @@ __all__ = [
     "symmetric_laplacian",
     "sgc_precompute",
     "sgc_precompute_hops",
+    "incremental_sgc_delta",
     "incremental_sgc_precompute",
     "reachable_rows",
     "appnp_propagate",
     "chebyshev_polynomials",
     "k_hop_subgraph",
     "induced_subgraph",
+    "attach_trigger_adjacency",
     "attach_trigger_subgraph",
     "attach_trigger_subgraph_coo",
     "stochastic_block_model",

@@ -6,25 +6,41 @@ epoch pays ``gcn_normalize`` plus K full sparse matmuls over the real graph —
 even though the poisoned graph differs from the base graph only in a handful
 of trigger-attached rows.  :class:`PropagationCache` removes that cost:
 
-* ``gcn_normalize`` results are memoised per :attr:`GraphData.version`
-  (and, for raw scipy matrices handed to the model layer, per object with
-  weakref-based eviction so a recycled ``id()`` can never serve stale data);
-* SGC hop chains ``[X, ÂX, ..., Â^K X]`` are memoised per
-  ``(version, num_hops)``;
+* ``gcn_normalize`` results are memoised per graph key (and, for raw scipy
+  matrices handed to the model layer, per object with weakref-based eviction
+  so a recycled ``id()`` can never serve stale data);
+* SGC hop chains ``[X, ÂX, ..., Â^K X]`` are memoised per ``(key, num_hops)``;
 * a graph carrying a :class:`~repro.graph.data.GraphDelta` derivation is
   propagated **incrementally**: only the K-hop closed neighbourhood of the
   changed rows is recomputed, all other rows are copied from the base's
   cached chain (see :mod:`repro.graph.propagation` for the math and why the
-  result is exact, not approximate).
+  result is exact, not approximate);
+* a :class:`~repro.graph.view.GraphView` takes the fully zero-copy path via
+  :meth:`PropagationCache.propagated_view`, which returns the incremental
+  update in *difference form* (a :class:`~repro.graph.view.PropagatedView`)
+  without ever materialising the ``(N', F)`` result.
+
+Keys and shards
+---------------
+A plain :class:`~repro.graph.data.GraphData` is keyed by its monotonic
+``version`` token.  A :class:`~repro.graph.view.GraphView` is keyed by its
+``cache_key`` — a ``(base version, overlay token)`` pair, so two views of the
+same base carrying the *same* overlay content (matching ``overlay_key``)
+share one entry, while distinct overlays can never collide.
+
+Entries live in a **sharded LRU**: one shard per *root* graph (the end of a
+graph's derivation chain, i.e. the underlying dataset), each holding at most
+``max_graphs`` entries, with at most ``max_shards`` shards resident.  A
+stream of derived poisoned graphs only ever churns its own dataset's shard —
+several datasets (a sweep, a multi-tenant service process) coexist without
+evicting each other's base chains.  Base graphs stay resident within a shard
+because every incremental update refreshes their recency.
 
 All returned matrices are shared between callers and must be treated as
-read-only.  Entries are kept in a small LRU (graphs are large); base graphs
-stay resident because every incremental update refreshes their recency.
-
-The module-level default cache (:func:`get_default_cache`) is what the
-condensers, the models layer and the evaluation pipeline share, so e.g. a
-``GCond`` and a ``GCondX`` instance condensing the same graph reuse one
-propagation, as does an SNTK evaluation of that graph.
+read-only.  The module-level default cache (:func:`get_default_cache`) is
+what the condensers, the models layer and the evaluation pipeline share, so
+e.g. a ``GCond`` and a ``GCondX`` instance condensing the same graph reuse
+one propagation, as does an SNTK evaluation of that graph.
 """
 
 from __future__ import annotations
@@ -44,13 +60,18 @@ from repro.graph.normalize import (
     incremental_gcn_normalize,
     self_loop_degrees,
 )
-from repro.graph.propagation import incremental_sgc_precompute, sgc_precompute_hops
+from repro.graph.propagation import (
+    incremental_sgc_delta,
+    incremental_sgc_precompute,
+    sgc_precompute_hops,
+)
+from repro.graph.view import PropagatedView
 
 
 class _Entry:
-    """Cached artefacts of one graph version."""
+    """Cached artefacts of one graph key."""
 
-    __slots__ = ("normalized", "degrees", "nonnegative", "hops", "provenance")
+    __slots__ = ("normalized", "degrees", "nonnegative", "hops", "views", "provenance")
 
     def __init__(self) -> None:
         self.normalized: Optional[sp.csr_matrix] = None
@@ -63,30 +84,40 @@ class _Entry:
         #: hop index -> ``Â^k X``; a *full* chain ``0..K`` for directly
         #: propagated graphs, possibly only the final hop for derived graphs.
         self.hops: Dict[int, np.ndarray] = {}
-        #: hop index -> (base_version, dirty_rows) for incrementally computed
+        #: hop index -> difference-form products (PropagatedView) served by
+        #: :meth:`PropagationCache.propagated_view` for derived graphs.
+        self.views: Dict[int, PropagatedView] = {}
+        #: hop index -> (base_key, dirty_rows) for incrementally computed
         #: products; lets a retired buffer be *patched* instead of refilled
         #: when the next update shares the same base (see _take_buffer).
         self.provenance: Dict[int, tuple] = {}
 
 
 class PropagationCache:
-    """Memoises normalisation and K-hop propagation, keyed by graph version.
+    """Memoises normalisation and K-hop propagation, keyed by graph identity.
 
     Parameters
     ----------
     max_graphs:
-        Maximum number of graph versions kept in the LRU.  Each version may
-        hold up to ``K`` dense ``(N, F)`` products, so the default is small —
+        Maximum number of graph keys kept per shard.  Each key may hold up to
+        ``K`` dense ``(N, F)`` products, so the default is small —
         deliberately so: the attack loop produces a *stream* of one-shot
-        derived versions, and the sooner they are evicted, the sooner their
+        derived keys, and the sooner they are evicted, the sooner their
         buffers recycle through the pool instead of faulting in fresh pages.
+    max_shards:
+        Maximum number of resident shards (one shard per root graph, i.e.
+        per dataset).  Least-recently-used shards are retired whole.
     """
 
-    def __init__(self, max_graphs: int = 4) -> None:
+    def __init__(self, max_graphs: int = 4, max_shards: int = 4) -> None:
         if max_graphs < 2:
             raise ValueError("max_graphs must be >= 2 (a base and a derived graph)")
+        if max_shards < 1:
+            raise ValueError("max_shards must be >= 1")
         self.max_graphs = max_graphs
-        self._entries: "OrderedDict[int, _Entry]" = OrderedDict()
+        self.max_shards = max_shards
+        #: shard key (root graph version) -> LRU of graph key -> entry.
+        self._shards: "OrderedDict[int, OrderedDict[object, _Entry]]" = OrderedDict()
         self._raw_normalized: Dict[int, tuple] = {}
         # Retired (N, F) product buffers with their patch provenance,
         # recycled into incremental updates.  Touching fresh pages costs more
@@ -103,38 +134,81 @@ class PropagationCache:
         self.buffer_reuses = 0
 
     # -------------------------------------------------------------- #
+    # Keying
+    # -------------------------------------------------------------- #
+    @staticmethod
+    def _key(graph) -> object:
+        """Cache key of a graph: ``cache_key`` for views, ``version`` otherwise."""
+        return getattr(graph, "cache_key", graph.version)
+
+    @staticmethod
+    def _shard_key(graph) -> int:
+        """Root version of a graph's derivation chain (= its dataset shard)."""
+        root = graph
+        while getattr(root, "derivation", None) is not None:
+            root = root.derivation.base
+        return root.version
+
+    def _shard(self, shard_key: int) -> "OrderedDict[object, _Entry]":
+        """The (LRU-refreshed) shard for ``shard_key``, creating it if needed."""
+        shard = self._shards.get(shard_key)
+        if shard is None:
+            shard = OrderedDict()
+            self._shards[shard_key] = shard
+            while len(self._shards) > self.max_shards:
+                _, evicted_shard = self._shards.popitem(last=False)
+                for entry in evicted_shard.values():
+                    self._retire(entry)
+        else:
+            self._shards.move_to_end(shard_key)
+        return shard
+
+    def _lookup(self, graph) -> Optional[_Entry]:
+        """Resident entry for ``graph`` (refreshing recency), else ``None``."""
+        shard = self._shards.get(self._shard_key(graph))
+        if shard is None:
+            return None
+        entry = shard.get(self._key(graph))
+        if entry is not None:
+            self._shards.move_to_end(self._shard_key(graph))
+            shard.move_to_end(self._key(graph))
+        return entry
+
+    # -------------------------------------------------------------- #
     # GraphData-level API
     # -------------------------------------------------------------- #
-    def normalized(self, graph: GraphData) -> sp.csr_matrix:
-        """``gcn_normalize(graph.adjacency)``, memoised per graph version.
+    def normalized(self, graph) -> sp.csr_matrix:
+        """``gcn_normalize(graph.adjacency)``, memoised per graph key.
 
         A graph carrying a :class:`~repro.graph.data.GraphDelta` whose base
         operator is still resident is renormalised *incrementally*: unchanged
         rows are spliced from the base with a degree-ratio fix-up, only the
         changed/appended rows pay a fresh normalisation (see
-        :func:`repro.graph.normalize.incremental_gcn_normalize`).
+        :func:`repro.graph.normalize.incremental_gcn_normalize`).  Works for
+        :class:`~repro.graph.data.GraphData` and
+        :class:`~repro.graph.view.GraphView` alike.
         """
         with self._lock:
-            entry = self._entries.get(graph.version)
+            entry = self._lookup(graph)
             if entry is not None and entry.normalized is not None:
-                self._entries.move_to_end(graph.version)
                 self.hits += 1
                 return entry.normalized
             self.misses += 1
 
+            shard = self._shard(self._shard_key(graph))
             delta = graph.derivation
             if delta is not None:
                 # Look the base up (and refresh its recency) BEFORE creating
                 # this graph's entry, so the derived insertion cannot evict
                 # the base it is about to be patched against.
-                base_entry = self._entries.get(delta.base.version)
+                base_entry = shard.get(self._key(delta.base))
                 if base_entry is not None and base_entry.normalized is not None:
-                    self._entries.move_to_end(delta.base.version)
+                    shard.move_to_end(self._key(delta.base))
                     base_normalized = base_entry.normalized
                     if base_entry.degrees is None:
                         base_entry.degrees = self_loop_degrees(delta.base.adjacency)
                     base_degrees = base_entry.degrees
-                    entry = self._entry(graph.version)
+                    entry = self._entry(shard, self._key(graph))
                     if (
                         delta.changed_nodes.size == 0
                         and graph.num_nodes == delta.base.num_nodes
@@ -153,7 +227,7 @@ class PropagationCache:
                         self.incremental_normalizations += 1
                     return entry.normalized
 
-            entry = self._entry(graph.version)
+            entry = self._entry(shard, self._key(graph))
             self._set_normalized(
                 entry, gcn_normalize(graph.adjacency), self_loop_degrees(graph.adjacency)
             )
@@ -169,19 +243,25 @@ class PropagationCache:
             normalized.data.size == 0 or normalized.data.min() >= 0.0
         )
 
-    def propagated(self, graph: GraphData, num_hops: int) -> np.ndarray:
+    def propagated(self, graph, num_hops: int) -> np.ndarray:
         """``Â^K X`` for ``graph``, incremental when a derivation is available.
 
         The returned array is shared: treat it as read-only.
         """
         with self._lock:
-            entry = self._entries.get(graph.version)
+            entry = self._lookup(graph)
             if entry is not None:
-                self._entries.move_to_end(graph.version)
                 cached = entry.hops.get(num_hops)
                 if cached is not None:
                     self.hits += 1
                     return cached
+                view = entry.views.get(num_hops)
+                if view is not None:
+                    # A difference-form product is already resident (the
+                    # zero-copy path ran first): materialise it once.
+                    self.hits += 1
+                    entry.hops[num_hops] = view.materialize()
+                    return entry.hops[num_hops]
             self.misses += 1
 
             delta = graph.derivation
@@ -191,7 +271,8 @@ class PropagationCache:
                 # evict the very base it is about to be patched against,
                 # silently reverting every epoch to a full recompute.
                 base_hops = self._chain(delta.base, num_hops)
-                entry = self._entry(graph.version)
+                shard = self._shard(self._shard_key(graph))
+                entry = self._entry(shard, self._key(graph))
                 if delta.changed_nodes.size == 0 and graph.num_nodes == delta.base.num_nodes:
                     # Pure metadata variant (labels / split only): share the
                     # base's product outright.
@@ -199,7 +280,7 @@ class PropagationCache:
                 else:
                     out, stale_rows = self._take_buffer(
                         (graph.num_nodes, graph.num_features),
-                        delta.base.version,
+                        self._key(delta.base),
                         num_hops,
                     )
                     normalized = self.normalized(graph)
@@ -214,7 +295,7 @@ class PropagationCache:
                         nonnegative=entry.nonnegative,
                     )
                     entry.provenance[num_hops] = (
-                        delta.base.version,
+                        self._key(delta.base),
                         num_hops,
                         dirty_rows,
                     )
@@ -225,21 +306,70 @@ class PropagationCache:
             chain = self._chain(graph, num_hops)
             return chain[num_hops]
 
-    def invalidate(self, graph: Optional[GraphData] = None) -> None:
+    def propagated_view(self, graph, num_hops: int):
+        """``Â^K X`` for ``graph`` in difference form — the zero-copy path.
+
+        For a derived graph whose base chain is resident this returns a
+        :class:`~repro.graph.view.PropagatedView` (base product + dirty rows)
+        without materialising the ``(N', F)`` result; consumers gather the
+        rows they need (cost ∝ rows gathered).  For base graphs — or
+        whenever the materialised product is already cached — the plain
+        ``(N, F)`` array is returned instead; both satisfy the same
+        row-gather protocol (``result[index_array]``).
+        """
+        with self._lock:
+            entry = self._lookup(graph)
+            if entry is not None:
+                cached = entry.hops.get(num_hops)
+                if cached is not None:
+                    self.hits += 1
+                    return cached
+                view = entry.views.get(num_hops)
+                if view is not None:
+                    self.hits += 1
+                    return view
+
+            delta = graph.derivation
+            if delta is None:
+                return self.propagated(graph, num_hops)
+            if delta.changed_nodes.size == 0 and graph.num_nodes == delta.base.num_nodes:
+                return self.propagated(graph, num_hops)
+
+            self.misses += 1
+            base_hops = self._chain(delta.base, num_hops)
+            shard = self._shard(self._shard_key(graph))
+            entry = self._entry(shard, self._key(graph))
+            normalized = self.normalized(graph)
+            dirty_rows, dirty_values = incremental_sgc_delta(
+                normalized,
+                graph.features,
+                base_hops,
+                delta.changed_nodes,
+                num_hops,
+                nonnegative=entry.nonnegative,
+            )
+            view = PropagatedView(
+                base_hops[num_hops], dirty_rows, dirty_values, graph.num_nodes
+            )
+            entry.views[num_hops] = view
+            self.incremental_updates += 1
+            return view
+
+    def invalidate(self, graph=None) -> None:
         """Drop every cached artefact (entries, raw memo, recycled buffers).
 
         Needed only when a graph's arrays are mutated in place, which breaks
         the immutability convention the version token relies on.  The clear
         is deliberately *total* even when ``graph`` is given: cached products
-        can be shared across versions (label-only variants), recycled buffers
-        carry provenance against a base version, and derived entries embed
-        base rows — a surgical per-version drop would leave stale data
-        reachable through any of those paths.  ``graph`` is kept in the
-        signature as documentation of intent at call sites.
+        can be shared across keys (label-only variants), recycled buffers
+        carry provenance against a base key, and derived entries embed base
+        rows — a surgical per-key drop would leave stale data reachable
+        through any of those paths.  ``graph`` is kept in the signature as
+        documentation of intent at call sites.
         """
         del graph
         with self._lock:
-            self._entries.clear()
+            self._shards.clear()
             self._raw_normalized.clear()
             self._buffer_pool.clear()
 
@@ -252,7 +382,8 @@ class PropagationCache:
                 "incremental_updates": self.incremental_updates,
                 "incremental_normalizations": self.incremental_normalizations,
                 "buffer_reuses": self.buffer_reuses,
-                "graphs": len(self._entries),
+                "graphs": sum(len(shard) for shard in self._shards.values()),
+                "shards": len(self._shards),
                 "raw_matrices": len(self._raw_normalized),
             }
 
@@ -298,15 +429,15 @@ class PropagationCache:
     # -------------------------------------------------------------- #
     # Internals
     # -------------------------------------------------------------- #
-    def _entry(self, version: int) -> _Entry:
-        entry = self._entries.get(version)
+    def _entry(self, shard: "OrderedDict[object, _Entry]", key: object) -> _Entry:
+        entry = shard.get(key)
         if entry is None:
             entry = _Entry()
-            self._entries[version] = entry
+            shard[key] = entry
         else:
-            self._entries.move_to_end(version)
-        while len(self._entries) > self.max_graphs:
-            _, evicted = self._entries.popitem(last=False)
+            shard.move_to_end(key)
+        while len(shard) > self.max_graphs:
+            _, evicted = shard.popitem(last=False)
             self._retire(evicted)
         return entry
 
@@ -318,9 +449,10 @@ class PropagationCache:
 
         The refcount check is what makes reuse safe: an array still held by a
         caller (or shared with another entry, or aliased by ``graph.features``
-        for hop 0) has extra references and is left alone.  Expected count 3 =
-        ``entry.hops`` + the local variable + ``getrefcount``'s argument
-        (``items()`` iteration would add a fourth via its yielded tuple).
+        for hop 0, or embedded as a ``PropagatedView`` base) has extra
+        references and is left alone.  Expected count 3 = ``entry.hops`` +
+        the local variable + ``getrefcount``'s argument (``items()``
+        iteration would add a fourth via its yielded tuple).
         """
         for hop in list(entry.hops):
             product = entry.hops[hop]
@@ -334,16 +466,17 @@ class PropagationCache:
                 if len(pool) < self._POOL_DEPTH:
                     pool.append((product, entry.provenance.get(hop)))
         entry.hops.clear()
+        entry.views.clear()
         entry.provenance.clear()
 
     def _take_buffer(
-        self, shape: Tuple[int, int], base_version: int, num_hops: int
+        self, shape: Tuple[int, int], base_key: object, num_hops: int
     ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
         """Pop a retired buffer for reuse, preferring a *patchable* one.
 
         Returns ``(buffer, stale_rows)``: when the buffer held a product over
-        the same base graph (same version, same hop count), ``stale_rows``
-        names the only rows differing from the embedded base product, and the
+        the same base graph (same key, same hop count), ``stale_rows`` names
+        the only rows differing from the embedded base product, and the
         incremental kernel patches them instead of refilling the buffer.
         """
         pool = self._buffer_pool.get(shape)
@@ -352,7 +485,7 @@ class PropagationCache:
         for position, (buffer, provenance) in enumerate(pool):
             if (
                 provenance is not None
-                and provenance[0] == base_version
+                and provenance[0] == base_key
                 and provenance[1] == num_hops
             ):
                 pool.pop(position)
@@ -362,7 +495,7 @@ class PropagationCache:
         self.buffer_reuses += 1
         return buffer, None
 
-    def _chain(self, graph: GraphData, num_hops: int) -> List[np.ndarray]:
+    def _chain(self, graph, num_hops: int) -> List[np.ndarray]:
         """Full hop chain ``[X, ..., Â^K X]`` for ``graph``, cached per hop.
 
         Used both for directly propagated graphs and for the *base* of an
@@ -371,10 +504,14 @@ class PropagationCache:
         full recompute here — correctness never depends on what happens to be
         resident.
         """
-        entry = self._entry(graph.version)
+        shard = self._shard(self._shard_key(graph))
+        entry = self._entry(shard, self._key(graph))
         if all(k in entry.hops for k in range(num_hops + 1)):
             return [entry.hops[k] for k in range(num_hops + 1)]
-        chain = sgc_precompute_hops(self.normalized(graph), graph.features, num_hops)
+        features = graph.features
+        if hasattr(features, "materialize"):
+            features = features.materialize()
+        chain = sgc_precompute_hops(self.normalized(graph), features, num_hops)
         for k, product in enumerate(chain):
             entry.hops[k] = product
         return chain

@@ -34,6 +34,16 @@ from repro.graph.splits import SplitIndices
 _VERSION_COUNTER = itertools.count(1)
 
 
+def next_version() -> int:
+    """Draw a fresh content-version token.
+
+    Shared by :class:`GraphData` and :class:`repro.graph.view.GraphView` so
+    the two kinds of graph can never collide on a
+    :class:`~repro.graph.cache.PropagationCache` key.
+    """
+    return next(_VERSION_COUNTER)
+
+
 class GraphDelta:
     """Derivation record: how a graph differs from the ``base`` it was built from.
 
@@ -116,7 +126,7 @@ class GraphData:
         self.adjacency = self.adjacency.tocsr().astype(np.float64)
         self.features = np.asarray(self.features, dtype=np.float64)
         self.labels = np.asarray(self.labels, dtype=np.int64)
-        self.version = next(_VERSION_COUNTER)
+        self.version = next_version()
         self.validate()
 
     # -------------------------------------------------------------- #

@@ -95,6 +95,104 @@ def reachable_rows(
     return mask | (reached > 0.0)
 
 
+def incremental_sgc_delta(
+    normalized: sp.spmatrix,
+    features,
+    base_hops: Sequence[np.ndarray],
+    changed_nodes: np.ndarray,
+    num_hops: int,
+    nonnegative: bool = False,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Difference form of :func:`incremental_sgc_precompute`: dirty rows only.
+
+    Runs the same exact K-hop recursion but never materialises the full
+    ``(N', F)`` result: it returns ``(dirty_rows, dirty_values)`` where every
+    row outside ``dirty_rows`` of ``Â'^K X'`` equals the corresponding row of
+    the cached base product ``base_hops[num_hops]``.  This is the kernel
+    behind :meth:`repro.graph.cache.PropagationCache.propagated_view` — the
+    zero-copy path of the attack loop, whose consumers only ever gather a
+    handful of rows (the training set) from the propagated matrix.
+
+    Parameters match :func:`incremental_sgc_precompute` except that
+    ``features`` may be any object exposing either numpy fancy indexing or a
+    ``gather(rows)`` method (``(len(rows), F)`` float64 copy) — in particular
+    a :class:`repro.graph.view.StackedFeatures`, which is how the poisoned
+    feature matrix avoids its ``(N', F)`` vstack entirely.
+
+    Returns
+    -------
+    dirty_rows, dirty_values:
+        Sorted row indices that differ from (or are appended past) the base
+        product, and their ``(len(dirty_rows), F)`` values.
+    """
+    if num_hops < 0:
+        raise GraphValidationError(f"num_hops must be non-negative, got {num_hops}")
+    if len(base_hops) < num_hops + 1:
+        raise GraphValidationError(
+            f"base_hops provides {len(base_hops)} hop products, need {num_hops + 1}"
+        )
+    n_total = normalized.shape[0]
+    n_base = base_hops[0].shape[0]
+    if n_total < n_base:
+        raise GraphValidationError(
+            f"derived graph has {n_total} rows but base has {n_base}; "
+            "deltas may only append rows"
+        )
+    if features.shape[1] != base_hops[0].shape[1]:
+        raise GraphValidationError(
+            f"feature dim {features.shape[1]} does not match base dim "
+            f"{base_hops[0].shape[1]}"
+        )
+    gather = getattr(features, "gather", None)
+    if gather is None:
+        array = np.asarray(features, dtype=np.float64)
+
+        def gather(rows: np.ndarray) -> np.ndarray:
+            return array[rows]
+
+    normalized = normalized.tocsr()
+    seed = np.zeros(n_total, dtype=bool)
+    seed[np.asarray(changed_nodes, dtype=np.int64)] = True
+    seed[n_base:] = True
+
+    rows = np.flatnonzero(seed)
+    values = gather(rows)  # fresh array: both gather flavours copy
+    if num_hops == 0:
+        return rows, values
+
+    # One |Â'| for all K+1 frontier expansions (it's a full O(nnz) copy,
+    # skipped entirely when the caller vouches for a non-negative operator).
+    magnitude = normalized if nonnegative else abs(normalized)
+    # Rows where the derived operator can differ from the embedded base one.
+    operator_dirty = reachable_rows(magnitude, seed, nonnegative=True)
+
+    # Difference form: delta[i] = H'_k[i] - embed(H_k)[i], kept only on the
+    # dirty rows (appended rows have no base counterpart, so their delta is
+    # their full value).
+    dirty = seed
+    delta = values
+    base_part = rows < n_base
+    delta[base_part] -= base_hops[0][rows[base_part]]
+
+    for hop in range(1, num_hops + 1):
+        previous_rows, previous_delta = rows, delta
+        dirty = operator_dirty | reachable_rows(magnitude, dirty, nonnegative=True)
+        rows = np.flatnonzero(dirty)
+        sliced = normalized[rows]
+        # Â'[D_k, :N] · H_{k-1}  +  Â'[D_k, D_{k-1}] · E_{k-1}
+        values = sliced[:, :n_base] @ base_hops[hop - 1]
+        if previous_rows.size:
+            values += sliced[:, previous_rows] @ previous_delta
+        if hop < num_hops:
+            # The final hop's difference form is never read — only its
+            # materialised rows are — so skip the dirty-block copy there.
+            delta = values.copy()
+            base_part = rows < n_base
+            delta[base_part] -= base_hops[hop][rows[base_part]]
+
+    return rows, values
+
+
 def incremental_sgc_precompute(
     normalized: sp.spmatrix,
     features: np.ndarray,
@@ -151,59 +249,19 @@ def incremental_sgc_precompute(
     copied from ``base_hops`` (see the module docstring for why this is
     exact).
     """
-    if num_hops < 0:
-        raise GraphValidationError(f"num_hops must be non-negative, got {num_hops}")
-    if len(base_hops) < num_hops + 1:
-        raise GraphValidationError(
-            f"base_hops provides {len(base_hops)} hop products, need {num_hops + 1}"
-        )
-    features = np.asarray(features, dtype=np.float64)
+    if num_hops == 0:
+        # Validation (and the gather of stacked features, should a caller
+        # hand one in) still runs through the delta kernel.
+        incremental_sgc_delta(normalized, features, base_hops, changed_nodes, 0)
+        if hasattr(features, "materialize"):
+            return features.materialize(), np.empty(0, dtype=np.int64)
+        return np.asarray(features, dtype=np.float64), np.empty(0, dtype=np.int64)
+
+    rows, values = incremental_sgc_delta(
+        normalized, features, base_hops, changed_nodes, num_hops, nonnegative=nonnegative
+    )
     n_total = normalized.shape[0]
     n_base = base_hops[0].shape[0]
-    if n_total < n_base:
-        raise GraphValidationError(
-            f"derived graph has {n_total} rows but base has {n_base}; "
-            "deltas may only append rows"
-        )
-    if features.shape[1] != base_hops[0].shape[1]:
-        raise GraphValidationError(
-            f"feature dim {features.shape[1]} does not match base dim "
-            f"{base_hops[0].shape[1]}"
-        )
-    if num_hops == 0:
-        return features, np.empty(0, dtype=np.int64)
-    normalized = normalized.tocsr()
-
-    seed = np.zeros(n_total, dtype=bool)
-    seed[np.asarray(changed_nodes, dtype=np.int64)] = True
-    seed[n_base:] = True
-    # One |Â'| for all K+1 frontier expansions (it's a full O(nnz) copy,
-    # skipped entirely when the caller vouches for a non-negative operator).
-    magnitude = normalized if nonnegative else abs(normalized)
-    # Rows where the derived operator can differ from the embedded base one.
-    operator_dirty = reachable_rows(magnitude, seed, nonnegative=True)
-
-    # Difference form: delta[i] = H'_k[i] - embed(H_k)[i], kept only on the
-    # dirty rows (appended rows have no base counterpart, so their delta is
-    # their full value).
-    dirty = seed
-    rows = np.flatnonzero(dirty)
-    delta = features[rows].copy()
-    base_part = rows < n_base
-    delta[base_part] -= base_hops[0][rows[base_part]]
-
-    for hop in range(1, num_hops + 1):
-        previous_rows, previous_delta = rows, delta
-        dirty = operator_dirty | reachable_rows(magnitude, dirty, nonnegative=True)
-        rows = np.flatnonzero(dirty)
-        sliced = normalized[rows]
-        # Â'[D_k, :N] · H_{k-1}  +  Â'[D_k, D_{k-1}] · E_{k-1}
-        values = sliced[:, :n_base] @ base_hops[hop - 1]
-        if previous_rows.size:
-            values += sliced[:, previous_rows] @ previous_delta
-        delta = values.copy()
-        base_part = rows < n_base
-        delta[base_part] -= base_hops[hop][rows[base_part]]
 
     if out is not None and out.shape == (n_total, features.shape[1]):
         result = out

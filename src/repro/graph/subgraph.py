@@ -128,6 +128,53 @@ def attach_trigger_subgraph(
         The poisoned graph plus, for each target node, the indices of its
         trigger nodes in the new graph (shape ``(P, t)``).
 
+    The adjacency surgery itself lives in :func:`attach_trigger_adjacency`;
+    this wrapper additionally materialises the poisoned feature matrix with
+    one ``(N + P*t, d)`` vstack.  At Cora scale that vstack dominates the
+    attachment cost, which is why the attack hot loop goes through
+    :class:`~repro.graph.view.GraphView` (stacked-block feature access, no
+    vstack) and this function remains the materialised reference path.
+    Semantics are pinned to :func:`attach_trigger_subgraph_coo` by
+    equivalence tests.
+    """
+    target_nodes = np.asarray(target_nodes, dtype=np.int64)
+    trigger_features = np.asarray(trigger_features, dtype=np.float64)
+    trigger_adjacency = np.asarray(trigger_adjacency, dtype=np.float64)
+    num_targets, trigger_size, feature_dim = _validate_trigger_blocks(
+        features, target_nodes, trigger_features, trigger_adjacency
+    )
+    new_adjacency, trigger_node_index = attach_trigger_adjacency(
+        adjacency, target_nodes, trigger_adjacency
+    )
+    total_trigger_nodes = num_targets * trigger_size
+    new_features = np.vstack([np.asarray(features, dtype=np.float64),
+                              trigger_features.reshape(total_trigger_nodes, feature_dim)])
+    return new_adjacency, new_features, trigger_node_index
+
+
+def attach_trigger_adjacency(
+    adjacency: sp.spmatrix,
+    target_nodes: np.ndarray,
+    trigger_adjacency: np.ndarray,
+) -> Tuple[sp.csr_matrix, np.ndarray]:
+    """Adjacency half of :func:`attach_trigger_subgraph` — no feature vstack.
+
+    Parameters
+    ----------
+    adjacency:
+        ``(N, N)`` host adjacency.
+    target_nodes:
+        ``(P,)`` node indices to poison.
+    trigger_adjacency:
+        ``(P, t, t)`` binary internal adjacency of each trigger block; only
+        the strict upper triangle of each block is read (mirrored).
+
+    Returns
+    -------
+    new_adjacency, trigger_node_index:
+        The ``(N + P*t, N + P*t)`` poisoned adjacency and, per target node,
+        the indices of its trigger nodes in the new graph (shape ``(P, t)``).
+
     Each trigger node is connected to its host target node; internal trigger
     edges follow ``trigger_adjacency``.  The original nodes keep their ids
     *and their edge weights*: pre-existing entries are copied unchanged
@@ -142,15 +189,19 @@ def attach_trigger_subgraph(
     every host column, so sortedness is free) and the trigger-block rows are
     scattered in vectorised form.  No intermediate COO matrix, no sparse add,
     no re-sort: the cost is one pass over the old arrays plus work
-    proportional to the trigger blocks.  Semantics are pinned to
-    :func:`attach_trigger_subgraph_coo` by equivalence tests.
+    proportional to the trigger blocks.
     """
     target_nodes = np.asarray(target_nodes, dtype=np.int64)
-    trigger_features = np.asarray(trigger_features, dtype=np.float64)
     trigger_adjacency = np.asarray(trigger_adjacency, dtype=np.float64)
-    num_targets, trigger_size, feature_dim = _validate_trigger_blocks(
-        features, target_nodes, trigger_features, trigger_adjacency
-    )
+    if trigger_adjacency.ndim != 3 or trigger_adjacency.shape[1] != trigger_adjacency.shape[2]:
+        raise GraphValidationError(
+            f"trigger_adjacency must have shape (P, t, t), got {trigger_adjacency.shape}"
+        )
+    num_targets, trigger_size = trigger_adjacency.shape[:2]
+    if target_nodes.shape[0] != num_targets:
+        raise GraphValidationError(
+            f"got {target_nodes.shape[0]} target nodes but {num_targets} trigger blocks"
+        )
 
     csr = adjacency.tocsr()
     if not csr.has_canonical_format:
@@ -159,9 +210,6 @@ def attach_trigger_subgraph(
     n = csr.shape[0]
     total_trigger_nodes = num_targets * trigger_size
     new_n = n + total_trigger_nodes
-
-    new_features = np.vstack([np.asarray(features, dtype=np.float64),
-                              trigger_features.reshape(total_trigger_nodes, feature_dim)])
 
     old_indptr = csr.indptr.astype(np.int64)
     old_degrees = np.diff(old_indptr)
@@ -236,7 +284,7 @@ def attach_trigger_subgraph(
     )
     # Construction guarantees per-row sorted, duplicate-free indices.
     new_adjacency.has_canonical_format = True
-    return new_adjacency, new_features, trigger_node_index
+    return new_adjacency, trigger_node_index
 
 
 def attach_trigger_subgraph_coo(

@@ -16,6 +16,20 @@ from repro.utils.logging import get_logger
 logger = get_logger("models.trainer")
 
 
+def _feature_array(features) -> np.ndarray:
+    """Coerce a feature argument to a contiguous ``(N, F)`` float array.
+
+    Model forward passes read whole feature matrices, so a zero-copy
+    :class:`~repro.graph.view.StackedFeatures` (or a
+    :class:`~repro.graph.view.PropagatedView`) handed to the trainer is
+    materialised here, once — the object caches its own materialisation, so
+    repeated epochs over the same view pay the vstack a single time.
+    """
+    if hasattr(features, "materialize"):
+        return features.materialize()
+    return np.asarray(features, dtype=np.float64)
+
+
 @dataclass
 class TrainingConfig:
     """Hyperparameters for :class:`Trainer`."""
@@ -76,8 +90,14 @@ class Trainer:
 
         ``val_adjacency`` / ``val_features`` / ``val_labels`` allow validating
         on a different graph than the training graph (needed when training on
-        a condensed graph but validating on the original graph).
+        a condensed graph but validating on the original graph).  Feature
+        arguments may be zero-copy view objects
+        (:class:`~repro.graph.view.StackedFeatures`); they are materialised
+        once at entry.
         """
+        features = _feature_array(features)
+        if val_features is not None:
+            val_features = _feature_array(val_features)
         labels = np.asarray(labels, dtype=np.int64)
         train_index = np.asarray(train_index, dtype=np.int64)
         optimizer = Adam(
@@ -141,7 +161,7 @@ class Trainer:
         index: np.ndarray,
     ) -> float:
         """Accuracy of the current model on ``index`` nodes."""
-        predictions = self.model.predict(adjacency, features)
+        predictions = self.model.predict(adjacency, _feature_array(features))
         index = np.asarray(index, dtype=np.int64)
         if index.size == 0:
             return float("nan")

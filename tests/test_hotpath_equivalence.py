@@ -1,14 +1,19 @@
 """Equivalence tests pinning every attack-loop fast path to its slow reference.
 
-Three fast paths landed with the loop-free attack epoch; each is pinned here
-to the reference implementation it replaced, at ``atol=1e-10``:
+Each fast path is pinned here to the reference implementation it replaced,
+at ``atol=1e-10``:
 
 * ``batched_local_trigger_loss`` vs the per-node ``local_trigger_loss`` —
   same loss *and* same parameter gradients;
 * CSR-surgery ``attach_trigger_subgraph`` vs the COO-rebuild reference —
   identical sparse matrices (indptr / indices / data);
 * ``incremental_gcn_normalize`` (and its ``PropagationCache`` integration)
-  vs a full ``gcn_normalize`` — under single-row and multi-row deltas.
+  vs a full ``gcn_normalize`` — under single-row and multi-row deltas;
+* the zero-copy :class:`~repro.graph.view.GraphView` path (stacked-block
+  features, difference-form propagation) vs the materialised
+  ``GraphData.with_delta`` path — same condensation metrics *and* same
+  synthetic-graph gradients, for the gradient-matching and GC-SNTK
+  condensers and for a full BGC run.
 """
 
 from __future__ import annotations
@@ -384,3 +389,111 @@ class TestIncrementalNormalizeEquivalence:
         variant = small_graph.with_(labels=small_graph.labels.copy())
         assert cache.normalized(variant) is base_normalized
         assert cache.stats()["incremental_normalizations"] == 0
+
+
+# --------------------------------------------------------------------- #
+# Zero-copy GraphView vs materialised poisoned GraphData
+# --------------------------------------------------------------------- #
+def _poisoned_pair(graph, seed: int, num_targets: int = 3, trigger_size: int = 2):
+    """A (view, materialised) pair of identical poisoned-graph content."""
+    from repro.graph.view import poison_graph_view
+
+    rng = new_rng(seed)
+    targets = np.sort(rng.choice(graph.num_nodes, size=num_targets, replace=False))
+    trigger_features = rng.normal(size=(num_targets, trigger_size, graph.num_features))
+    trigger_adjacency = (
+        rng.random((num_targets, trigger_size, trigger_size)) < 0.5
+    ).astype(np.float64)
+    view = poison_graph_view(graph, targets, trigger_features, trigger_adjacency)
+    new_adj, new_feat, _ = attach_trigger_subgraph(
+        graph.adjacency, graph.features, targets, trigger_features, trigger_adjacency
+    )
+    materialised = graph.with_delta(
+        targets,
+        adjacency=new_adj,
+        features=new_feat,
+        labels=view.labels.copy(),
+    )
+    return view, materialised
+
+
+class TestGraphViewEquivalence:
+    def test_view_content_is_identical(self, small_graph):
+        view, materialised = _poisoned_pair(small_graph, seed=41)
+        np.testing.assert_array_equal(
+            view.adjacency.indptr.astype(np.int64),
+            materialised.adjacency.indptr.astype(np.int64),
+        )
+        np.testing.assert_array_equal(
+            view.adjacency.indices.astype(np.int64),
+            materialised.adjacency.indices.astype(np.int64),
+        )
+        np.testing.assert_array_equal(view.adjacency.data, materialised.adjacency.data)
+        np.testing.assert_array_equal(
+            view.features.materialize(), materialised.features
+        )
+
+    def test_propagated_rows_bit_identical(self, small_graph):
+        """The difference-form product gathers the exact same floats the
+        materialised incremental product holds (same kernel, same inputs)."""
+        view, materialised = _poisoned_pair(small_graph, seed=42)
+        view_cache, mat_cache = PropagationCache(), PropagationCache()
+        lazy = view_cache.propagated_view(view, 2)
+        full = mat_cache.propagated(materialised, 2)
+        rows = np.arange(view.num_nodes)
+        np.testing.assert_array_equal(lazy.gather(rows), full)
+
+    @pytest.mark.parametrize("condenser_name", ["gcond-x", "gcond", "gc-sntk"])
+    def test_epoch_step_metrics_and_gradients_match(self, small_graph, condenser_name):
+        """One condensation epoch on the view == one on the materialised graph.
+
+        Compares the matching loss, the synthetic features after the update
+        (i.e. the applied gradient) and the surrogate weight, at atol 1e-10.
+        """
+        from repro.condensation import make_condenser
+        from repro.condensation.base import CondensationConfig
+
+        results = []
+        for variant in range(2):
+            condenser = make_condenser(
+                condenser_name, CondensationConfig(epochs=1, ratio=0.2)
+            )
+            condenser._cache = PropagationCache()
+            condenser.initialize(small_graph, new_rng(5))
+            view, materialised = _poisoned_pair(small_graph, seed=43)
+            poisoned = view if variant == 0 else materialised
+            loss = condenser.epoch_step(poisoned)
+            results.append((loss, condenser.synthetic().features))
+        (view_loss, view_features), (mat_loss, mat_features) = results
+        assert abs(view_loss - mat_loss) <= ATOL
+        np.testing.assert_allclose(view_features, mat_features, rtol=0.0, atol=ATOL)
+
+    def test_bgc_view_flag_is_bit_identical(self, small_graph):
+        """BGC with use_graph_view on/off: same history, same condensed graph."""
+        from repro.attack.bgc import BGC, BGCConfig
+        from repro.attack.trigger import TriggerConfig
+        from repro.condensation.base import CondensationConfig
+        from repro.condensation.gcond import GCondX
+
+        def run(use_view: bool):
+            attack = BGC(
+                BGCConfig(
+                    poison_number=3,
+                    epochs=2,
+                    use_graph_view=use_view,
+                    trigger=TriggerConfig(trigger_size=2, hidden=16),
+                )
+            )
+            condenser = GCondX(
+                CondensationConfig(epochs=1, ratio=0.2), cache=PropagationCache()
+            )
+            return attack.run(small_graph, condenser, new_rng(13))
+
+        with_view, without_view = run(True), run(False)
+        assert with_view.history == without_view.history
+        np.testing.assert_array_equal(
+            with_view.condensed.features, without_view.condensed.features
+        )
+        np.testing.assert_array_equal(
+            with_view.poisoned_nodes, without_view.poisoned_nodes
+        )

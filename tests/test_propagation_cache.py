@@ -226,10 +226,39 @@ class TestCacheBehaviour:
         assert stats["graphs"] == 0 and stats["raw_matrices"] == 0
 
     def test_lru_is_bounded(self):
-        cache = PropagationCache(max_graphs=2)
-        for seed in range(4):
+        """Both LRU levels are bounded: entries per shard and shards overall.
+
+        Independent base graphs are independent datasets, so each owns a
+        shard; a stream of derived graphs churns inside its base's shard.
+        """
+        cache = PropagationCache(max_graphs=2, max_shards=2)
+        for seed in range(4):  # four datasets -> shard-level eviction
             cache.propagated(build_small_graph(seed=seed), 1)
-        assert cache.stats()["graphs"] <= 2
+        stats = cache.stats()
+        assert stats["shards"] <= 2
+        assert stats["graphs"] <= 2 * 2
+
+    def test_per_shard_lru_is_bounded(self, small_graph, rng):
+        cache = PropagationCache(max_graphs=2, max_shards=2)
+        for _ in range(5):  # derived stream: all entries share one shard
+            cache.propagated(_random_delta(small_graph, rng), 2)
+        stats = cache.stats()
+        assert stats["shards"] == 1
+        assert stats["graphs"] <= 2
+
+    def test_datasets_coexist_across_shards(self, small_graph, rng):
+        """A second dataset's stream must not evict the first's base chain."""
+        cache = PropagationCache(max_graphs=2, max_shards=4)
+        other = build_small_graph(seed=23)
+        cache.propagated(small_graph, 2)
+        cache.propagated(other, 2)
+        before = cache.misses
+        for _ in range(3):  # interleave derived streams of both datasets
+            cache.propagated(_random_delta(small_graph, rng), 2)
+            cache.propagated(_random_delta(other, rng), 2)
+        # 2 misses per derived graph (normalize + propagate); base chains
+        # stay resident in their own shards, so no extra recomputes appear.
+        assert cache.misses - before == 12
 
     def test_minimal_lru_keeps_base_resident(self, small_graph, rng):
         """Regression: a derived insertion must never evict its own base.
