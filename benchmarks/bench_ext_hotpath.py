@@ -44,6 +44,15 @@ through the attack's own internals) in two configurations:
   graph as a zero-copy ``GraphView``, propagation read in difference form
   (no per-epoch ``(N, F)`` materialisation anywhere).
 
+On top of the per-epoch regimes, the PR 5 section measures **sweep
+throughput**: an 8-cell tiny grid (2 condensers × 2 attacks × defense
+on/off) run serially and through the process-pool execution backend with 4
+workers and shard-aware cache handoff.  The two runs must be *bit-identical*
+(metrics and condensed-graph hashes compare exactly); the wall-clock floor
+is asserted only on hosts that can physically parallelise (≥ 4 usable
+cores) — on fewer cores the numbers are reported but a speedup would be
+meaningless.
+
 Claims checked:
 
 1. the incremental propagation path is **exact**: its propagated features
@@ -56,7 +65,10 @@ Claims checked:
 5. the view-path difference-form propagation is **exact** (``atol=1e-10``
    against a cold recompute of the final poisoned view);
 6. the view+warm-start BGC attack epoch is **≥ 1.3× faster** than the PR 2
-   materialised BGC attack epoch at Cora scale.
+   materialised BGC attack epoch at Cora scale;
+7. the parallel sweep's records are **bit-identical** to the serial run
+   (always asserted), and its wall-clock beats serial by **≥ 2×** on hosts
+   with at least 4 usable cores.
 
 Run standalone (CI smoke uses tiny sizes and skips the speedup assertion,
 which is meaningless for graphs that fit in cache lines)::
@@ -115,6 +127,13 @@ EPOCH_SPEEDUP_FLOOR = 1.5
 #: Floor for the complete BGC attack epoch (incl. surrogate retrain):
 #: zero-copy view + warm-start path vs the PR 2 materialised path.
 VIEW_EPOCH_SPEEDUP_FLOOR = 1.3
+#: Worker-process count of the sweep-throughput section.
+SWEEP_WORKERS = 4
+#: Floor for the 8-cell grid under the process backend vs serial wall-clock.
+#: Only asserted when the host exposes at least SWEEP_WORKERS usable cores —
+#: with fewer, a parallel speedup is physically impossible and only the
+#: bit-identity claim is meaningful.
+SWEEP_SPEEDUP_FLOOR = 2.0
 GENERATOR_STEPS = 2
 UPDATE_BATCH = 12
 MAX_NEIGHBORS = 10
@@ -497,6 +516,90 @@ def run_view_epoch_comparison(
     }
 
 
+def _usable_cores() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without sched_getaffinity
+        return os.cpu_count() or 1
+
+
+def _sweep_throughput_spec(smoke: bool):
+    """The 8-cell tiny grid: 2 condensers × 2 attacks × defense on/off.
+
+    Cells are deliberately heavier than the CI smoke grid (more condensation
+    and evaluation epochs) so per-cell compute dominates the process-pool
+    overhead (fork + cache handoff + result pickling) the way a real sweep
+    does; smoke mode shrinks them back down.
+    """
+    from repro.api import SweepSpec
+
+    epochs = 2 if smoke else 6
+    eval_epochs = 10 if smoke else 80
+    return SweepSpec.from_dict(
+        {
+            "name": "throughput",
+            "seed": 11,
+            "base": {
+                "dataset": "tiny",
+                "condenser": {"overrides": {"epochs": epochs, "ratio": 0.2}},
+                "trigger": {"overrides": {"trigger_size": 2}},
+                "evaluation": {"overrides": {"epochs": eval_epochs}},
+            },
+            "axes": {
+                "condenser": ["gcond", "gcond-x"],
+                "attack": [
+                    {"name": "bgc", "overrides": {"epochs": epochs, "poison_ratio": 0.2}},
+                    {"name": "naive", "overrides": {"poison_fraction": 0.4}},
+                ],
+                "defense": ["prune", None],
+            },
+        }
+    )
+
+
+def run_sweep_throughput(smoke: bool = SMOKE) -> Dict[str, float]:
+    """Serial vs process-pool execution of the 8-cell sweep grid.
+
+    Both runs expand the identical spec; bit-identity is checked over every
+    metric field *and* the condensed-graph sha256 fingerprints, so the
+    comparison covers the full condensed artefacts rather than a summary.
+    """
+    from repro.api import ExecutionSpec, run_sweep
+    from repro.api.runner import RunRecord
+
+    sweep = _sweep_throughput_spec(smoke)
+
+    start = time.perf_counter()
+    serial = run_sweep(sweep)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_sweep(
+        sweep, execution=ExecutionSpec(backend="process", workers=SWEEP_WORKERS)
+    )
+    parallel_s = time.perf_counter() - start
+
+    def identity_key(record: RunRecord):
+        payload = record.to_dict()
+        payload.pop("timings")
+        return payload
+
+    records_match = [identity_key(r) for r in serial] == [
+        identity_key(r) for r in parallel
+    ]
+    return {
+        "sweep_cells": sweep.num_cells,
+        "sweep_serial_s": serial_s,
+        "sweep_parallel_s": parallel_s,
+        "sweep_speedup": serial_s / parallel_s,
+        "sweep_records_match": records_match,
+        "sweep_workers": SWEEP_WORKERS,
+        "sweep_cores": _usable_cores(),
+        "sweep_cache_contributors": parallel.cache_stats.get("contributors", 0),
+    }
+
+
 def run_hotpath(smoke: bool = SMOKE, timed_epochs: int = TIMED_EPOCHS) -> Dict[str, float]:
     graph = _build_graph(smoke)
     select_rng, trigger_seed_rng = spawn_rngs(1, 2)
@@ -575,6 +678,7 @@ def run_hotpath(smoke: bool = SMOKE, timed_epochs: int = TIMED_EPOCHS) -> Dict[s
     results.update(
         run_view_epoch_comparison(smoke=smoke, timed_epochs=timed_epochs, graph=graph)
     )
+    results.update(run_sweep_throughput(smoke=smoke))
     return results
 
 
@@ -623,6 +727,35 @@ def _report(results: Dict[str, float]) -> None:
     )
     print(f"max |view propagation - full recompute|: {results['view_max_abs_err']:.3e}")
 
+    print_header(
+        f"Sweep throughput: {results['sweep_cells']}-cell tiny grid, serial vs "
+        f"process pool ({results['sweep_workers']} workers, "
+        f"{results['sweep_cores']} usable cores)"
+    )
+    print(f"{'backend':<14}{'wall-clock (s)':>16}{'speedup':>10}")
+    print(f"{'serial':<14}{results['sweep_serial_s']:>16.2f}{1.0:>10.2f}")
+    print(
+        f"{'process':<14}{results['sweep_parallel_s']:>16.2f}"
+        f"{results['sweep_speedup']:>10.2f}"
+    )
+    print(
+        "records bit-identical: "
+        f"{'yes' if results['sweep_records_match'] else 'NO'}"
+        f"  (cache stats merged from {results['sweep_cache_contributors']} "
+        "contributors: parent handoff + one per cell)"
+    )
+    if results["sweep_cores"] < results["sweep_workers"]:
+        print(
+            f"note: only {results['sweep_cores']} usable core(s) — the "
+            f"{SWEEP_SPEEDUP_FLOOR}x floor needs >= {results['sweep_workers']} "
+            "and is not asserted on this host"
+        )
+
+
+def _sweep_floor_applies(results: Dict[str, float], smoke: bool) -> bool:
+    """Whether the parallel wall-clock floor is meaningful on this host."""
+    return not smoke and results["sweep_cores"] >= results["sweep_workers"]
+
 
 def test_hotpath_cached_and_incremental_speedup():
     results = run_hotpath()
@@ -639,11 +772,16 @@ def test_hotpath_cached_and_incremental_speedup():
         "view-path difference-form propagation diverged from the full "
         f"recompute: {results['view_max_abs_err']:.3e}"
     )
+    assert results["sweep_records_match"], (
+        "parallel sweep records diverged from the serial run"
+    )
     if not SMOKE:
         assert results["speedup_cached"] >= SPEEDUP_FLOOR, results
         assert results["speedup_incremental"] >= SPEEDUP_FLOOR, results
         assert results["epoch_speedup"] >= EPOCH_SPEEDUP_FLOOR, results
         assert results["view_epoch_speedup"] >= VIEW_EPOCH_SPEEDUP_FLOOR, results
+    if _sweep_floor_applies(results, SMOKE):
+        assert results["sweep_speedup"] >= SWEEP_SPEEDUP_FLOOR, results
 
 
 if __name__ == "__main__":
@@ -663,6 +801,8 @@ if __name__ == "__main__":
         raise SystemExit("normalisation equivalence check FAILED")
     if outcome["view_max_abs_err"] > EQUIVALENCE_ATOL:
         raise SystemExit("view-path propagation equivalence check FAILED")
+    if not outcome["sweep_records_match"]:
+        raise SystemExit("parallel sweep bit-identity check FAILED")
     if not (args.smoke or SMOKE):
         if min(outcome["speedup_cached"], outcome["speedup_incremental"]) < SPEEDUP_FLOOR:
             raise SystemExit(f"speedup below {SPEEDUP_FLOOR}x")
@@ -672,4 +812,7 @@ if __name__ == "__main__":
             raise SystemExit(
                 f"view attack-epoch speedup below {VIEW_EPOCH_SPEEDUP_FLOOR}x"
             )
+    if _sweep_floor_applies(outcome, args.smoke or SMOKE):
+        if outcome["sweep_speedup"] < SWEEP_SPEEDUP_FLOOR:
+            raise SystemExit(f"sweep-throughput speedup below {SWEEP_SPEEDUP_FLOOR}x")
     print("\nhot-path benchmark OK")

@@ -55,6 +55,17 @@ cartesian product in axis insertion order; each cell receives a deterministic
 seed derived from the sweep seed and its grid index, so results are
 independent of execution order.
 
+An optional ``execution`` block says *how* the grid runs — never what it
+computes (results are bit-identical across backends and worker counts)::
+
+    "execution": {"backend": "process", "workers": 4,
+                  "timeout": null, "on_error": "record"}
+
+``backend: "process"`` fans cells out over worker processes with shard-aware
+:class:`~repro.graph.cache.PropagationCache` handoff; ``on_error: "record"``
+turns a crashing or timed-out cell into a structured failed
+:class:`~repro.api.runner.RunRecord` instead of aborting the sweep.
+
 Quickstart
 ----------
 >>> from repro.api import ExperimentSpec, run_experiment
@@ -69,19 +80,22 @@ Quickstart
 from repro.api.spec import (
     COMPONENT_FIELDS,
     ComponentSpec,
+    ExecutionSpec,
     ExperimentSpec,
     SweepSpec,
     derive_cell_seed,
 )
-from repro.api.runner import RunRecord, run_experiment, run_sweep
+from repro.api.runner import RunRecord, SweepRecord, run_experiment, run_sweep
 
 __all__ = [
     "COMPONENT_FIELDS",
     "ComponentSpec",
+    "ExecutionSpec",
     "ExperimentSpec",
     "SweepSpec",
     "derive_cell_seed",
     "RunRecord",
+    "SweepRecord",
     "run_experiment",
     "run_sweep",
 ]

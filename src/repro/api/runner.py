@@ -13,14 +13,16 @@ whether the grid runs in canonical or shuffled order.
 
 from __future__ import annotations
 
+import hashlib
 import math
 import time
+import traceback
 from dataclasses import dataclass, field, fields
 from typing import Any, Callable, Dict, List, Mapping, Tuple
 
 import numpy as np
 
-from repro.api.spec import ExperimentSpec, SweepSpec
+from repro.api.spec import ExecutionSpec, ExperimentSpec, SweepSpec
 from repro.attack.naive import NaivePoison
 from repro.condensation.base import CondensedGraph, Condenser
 from repro.datasets import load_dataset
@@ -55,6 +57,14 @@ class RunRecord:
     against the undefended reference (the attacked numbers when an attack ran,
     the clean ones otherwise).  ``spec`` echoes the fully resolved spec, so a
     record is self-describing in a ``results.jsonl`` stream.
+
+    ``condensed_hash`` / ``attack_condensed_hash`` fingerprint the condensed
+    artefacts (sha256 over their arrays), so bit-identity across execution
+    backends can be asserted on the full condensed graphs, not just the
+    scalar metrics.  ``status`` is ``"ok"`` for a completed cell; a cell that
+    raised or timed out under ``on_error="record"`` is shipped as a
+    ``"failed"`` record whose ``error`` mapping holds the exception type
+    name, message and formatted traceback.
     """
 
     spec: ExperimentSpec
@@ -69,7 +79,38 @@ class RunRecord:
     defense_asr_delta: float = float("nan")
     poisoned_nodes: int = 0
     condensed_nodes: int = 0
+    condensed_hash: str | None = None
+    attack_condensed_hash: str | None = None
+    status: str = "ok"
+    error: Dict[str, str] | None = None
     timings: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the cell completed (``status == "ok"``)."""
+        return self.status == "ok"
+
+    @classmethod
+    def from_failure(
+        cls,
+        spec: ExperimentSpec,
+        cell_index: int | None,
+        error: Mapping[str, str],
+        elapsed: float = 0.0,
+    ) -> "RunRecord":
+        """A structured failed record for a cell that raised or timed out.
+
+        ``error`` carries ``type`` (exception class name), ``message`` and
+        ``traceback`` (formatted text — the only form that survives a process
+        boundary); every metric stays NaN/default.
+        """
+        return cls(
+            spec=spec,
+            cell_index=cell_index,
+            status="failed",
+            error=dict(error),
+            timings={"cell": float(elapsed)},
+        )
 
     #: Metric fields serialised with NaN ↔ null conversion.
     _METRIC_FIELDS = (
@@ -99,6 +140,10 @@ class RunRecord:
             payload[name] = None if math.isnan(value) else value
         payload["poisoned_nodes"] = self.poisoned_nodes
         payload["condensed_nodes"] = self.condensed_nodes
+        payload["condensed_hash"] = self.condensed_hash
+        payload["attack_condensed_hash"] = self.attack_condensed_hash
+        payload["status"] = self.status
+        payload["error"] = dict(self.error) if self.error is not None else None
         payload["timings"] = dict(self.timings)
         return payload
 
@@ -110,6 +155,33 @@ class RunRecord:
             if data.get(name) is None:
                 data[name] = float("nan")
         return cls(**data)
+
+
+def condensed_fingerprint(condensed: CondensedGraph) -> str:
+    """Sha256 over a condensed graph's arrays (features, labels, adjacency).
+
+    Used to assert *bit*-identity of condensation results across execution
+    backends and worker counts: two condensed graphs fingerprint equal only
+    if every float in them is identical.
+    """
+    digest = hashlib.sha256()
+    for array in (condensed.features, condensed.labels, condensed.adjacency):
+        array = np.ascontiguousarray(array)
+        digest.update(str(array.dtype).encode())
+        digest.update(str(array.shape).encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def error_info(error: BaseException) -> Dict[str, str]:
+    """The picklable failure shape stored on a failed :class:`RunRecord`."""
+    return {
+        "type": type(error).__name__,
+        "message": str(error),
+        "traceback": "".join(
+            traceback.format_exception(type(error), error, error.__traceback__)
+        ),
+    }
 
 
 class _Stopwatch:
@@ -312,6 +384,7 @@ def run_experiment(
             "attack", lambda: _execute_attack(attack, graph, condenser, attack_rng)
         )
         record.poisoned_nodes = poisoned
+        record.attack_condensed_hash = condensed_fingerprint(attacked_condensed)
         attacked_model = watch.measure(
             "train_victim",
             lambda: train_model_on_condensed(attacked_condensed, graph, evaluation, victim_rng),
@@ -328,6 +401,7 @@ def run_experiment(
         "condense", lambda: clean_condenser.condense(graph, clean_rng)
     )
     record.condensed_nodes = clean_condensed.num_nodes
+    record.condensed_hash = condensed_fingerprint(clean_condensed)
     clean_model = watch.measure(
         "train_clean",
         lambda: train_model_on_condensed(clean_condensed, graph, evaluation, eval_rng),
@@ -360,38 +434,122 @@ def run_experiment(
     return record
 
 
+#: PropagationCache counters that are summable across workers (the remaining
+#: ``stats()`` keys — graphs / shards / raw_matrices — are gauges).
+CACHE_COUNTER_KEYS = (
+    "hits",
+    "misses",
+    "incremental_updates",
+    "incremental_normalizations",
+    "buffer_reuses",
+)
+
+
+def cache_counters(stats: Mapping[str, int]) -> Dict[str, int]:
+    """Project a ``PropagationCache.stats()`` mapping onto its counters."""
+    return {key: int(stats.get(key, 0)) for key in CACHE_COUNTER_KEYS}
+
+
+def merge_cache_stats(stats_list: List[Mapping[str, int]]) -> Dict[str, int]:
+    """Sum per-contributor cache counters into one sweep-level mapping.
+
+    The process backend feeds this the parent's handoff delta plus one
+    counter delta per completed worker; the serial backend feeds the single
+    before/after delta of the shared cache.  ``contributors`` records how
+    many deltas merged.
+    """
+    merged = {key: 0 for key in CACHE_COUNTER_KEYS}
+    for stats in stats_list:
+        for key in CACHE_COUNTER_KEYS:
+            merged[key] += int(stats.get(key, 0))
+    merged["contributors"] = len(stats_list)
+    return merged
+
+
+class SweepRecord(List[RunRecord]):
+    """The result of one sweep: records in canonical grid order + aggregates.
+
+    A ``SweepRecord`` *is* the list of :class:`RunRecord` (so existing
+    list-shaped callers keep working), enriched with sweep-level state:
+    ``cache_stats`` merges the :class:`~repro.graph.cache.PropagationCache`
+    counters of every contributor (the parent's handoff delta plus each
+    worker's delta under the process backend; the serial backend contributes
+    its single before/after delta).
+    """
+
+    def __init__(
+        self,
+        records: List[RunRecord] = (),
+        *,
+        cache_stats: Mapping[str, int] | None = None,
+    ) -> None:
+        super().__init__(records)
+        self.cache_stats: Dict[str, int] = dict(cache_stats or {})
+
+    @property
+    def failed(self) -> List[RunRecord]:
+        """The failed cells (empty unless ``on_error="record"`` saw errors)."""
+        return [record for record in self if not record.ok]
+
+
+def _validated_order(order: List[int] | None, num_cells: int) -> List[int]:
+    """Canonical dispatch order, defaulting to grid order."""
+    if order is None:
+        return list(range(num_cells))
+    if sorted(order) != list(range(num_cells)):
+        raise ConfigurationError(
+            f"order must be a permutation of range({num_cells}), got {order!r}"
+        )
+    return list(order)
+
+
 def run_sweep(
     sweep: SweepSpec,
     *,
     order: List[int] | None = None,
     on_record: Callable[[RunRecord], None] | None = None,
-) -> List[RunRecord]:
+    execution: ExecutionSpec | Mapping[str, Any] | None = None,
+) -> SweepRecord:
     """Execute every cell of a sweep; records return in canonical grid order.
 
-    ``order`` optionally permutes *execution* order (used by the determinism
+    ``order`` optionally permutes *dispatch* order (used by the determinism
     tests); it never changes the returned ordering or any cell's result,
     because per-cell seeds are fixed at expansion time.  ``on_record`` is
-    invoked after each cell completes (in execution order) — the CLI uses it
-    to stream ``results.jsonl``.  Cells naming the same dataset (and dataset
-    seed) share one loaded graph, and through it the shared
+    invoked after each cell completes (in completion order — equal to
+    dispatch order for the serial backend) and also receives failed records.
+    ``execution`` overrides the sweep's own :class:`ExecutionSpec`: the
+    ``process`` backend fans cells out over worker processes with shard-aware
+    cache handoff (see :mod:`repro.api.parallel`) and is bit-identical to
+    serial execution for any worker count; ``on_error="record"`` turns cell
+    failures into structured failed records instead of aborting the sweep.
+    In the serial backend cells naming the same dataset (and dataset seed)
+    share one loaded graph, and through it the shared
     :class:`~repro.graph.cache.PropagationCache`.
     """
     if not isinstance(sweep, SweepSpec):
         sweep = SweepSpec.from_dict(sweep)
+    execution = (
+        sweep.execution if execution is None else ExecutionSpec.coerce(execution)
+    )
     specs = sweep.expand()
-    if order is None:
-        order = list(range(len(specs)))
-    elif sorted(order) != list(range(len(specs))):
-        raise ConfigurationError(
-            f"order must be a permutation of range({len(specs)}), got {order!r}"
+    order = _validated_order(order, len(specs))
+
+    if execution.backend == "process":
+        from repro.api.parallel import run_sweep_process
+
+        records, cache_stats = run_sweep_process(
+            sweep, specs, order, execution, on_record
         )
+        return SweepRecord(records, cache_stats=cache_stats)
+
+    from repro.graph.cache import get_default_cache
+
+    stats_before = cache_counters(get_default_cache().stats())
     graphs: Dict[Tuple[str, int], GraphData] = {}
+    unloadable: Dict[Tuple[str, int], Dict[str, str]] = {}
     records: List[RunRecord | None] = [None] * len(specs)
     for position, index in enumerate(order):
         spec = specs[index]
-        key = dataset_cache_key(spec)
-        if key not in graphs:
-            graphs[key] = _load_graph(spec)
         logger.info(
             "sweep %s: cell %d/%d (grid index %d): %s/%s/%s",
             sweep.name,
@@ -402,8 +560,37 @@ def run_sweep(
             spec.condenser.name,
             spec.attack.name or "clean",
         )
-        record = run_experiment(spec, graph=graphs[key], cell_index=index)
+        start = time.perf_counter()
+        try:
+            key = dataset_cache_key(spec)
+            if key in unloadable:
+                # The dataset already failed to load for an earlier cell:
+                # reuse its recorded failure instead of re-paying a
+                # potentially expensive failed generation once per cell.
+                record = RunRecord.from_failure(spec, index, unloadable[key], 0.0)
+            else:
+                if key not in graphs:
+                    try:
+                        graphs[key] = _load_graph(spec)
+                    except Exception as error:
+                        unloadable[key] = error_info(error)
+                        raise
+                record = run_experiment(spec, graph=graphs[key], cell_index=index)
+        except Exception as error:
+            if execution.on_error == "raise":
+                raise
+            record = RunRecord.from_failure(
+                spec, index, error_info(error), time.perf_counter() - start
+            )
+            logger.warning(
+                "sweep %s: cell %d failed (%s), recorded and continuing",
+                sweep.name,
+                index,
+                type(error).__name__,
+            )
         records[index] = record
         if on_record is not None:
             on_record(record)
-    return records  # type: ignore[return-value]
+    stats_after = cache_counters(get_default_cache().stats())
+    delta = {key: stats_after[key] - stats_before[key] for key in CACHE_COUNTER_KEYS}
+    return SweepRecord(records, cache_stats=merge_cache_stats([delta]))

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import math
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Mapping
 
@@ -222,6 +223,123 @@ class ExperimentSpec:
         return replace(self, **{head: updated})
 
 
+#: Execution backends accepted by :class:`ExecutionSpec`.
+EXECUTION_BACKENDS = ("serial", "process")
+#: Failure policies accepted by :class:`ExecutionSpec`.
+ON_ERROR_MODES = ("raise", "record")
+
+
+@dataclass(frozen=True)
+class ExecutionSpec:
+    """How a sweep executes — *not* what it computes.
+
+    Execution settings never change any cell's result: per-cell seeds are
+    fixed at expansion time and records merge by canonical grid index, so a
+    sweep is bit-identical under ``serial`` and ``process`` backends for any
+    worker count.  The fields:
+
+    ``backend``
+        ``"serial"`` runs cells in the calling process (the default);
+        ``"process"`` runs each cell in its own worker process (a pool of at
+        most ``workers`` live at a time) with shard-aware
+        :class:`~repro.graph.cache.PropagationCache` handoff.
+    ``workers``
+        Maximum number of concurrently live worker processes (ignored by the
+        serial backend).
+    ``timeout``
+        Per-cell wall-clock budget in seconds (``None`` = unlimited).
+        Enforced by the process backend, which terminates the worker; the
+        serial backend cannot preempt a running cell and ignores it.  The
+        clock starts when the worker process launches, so the budget
+        includes worker startup (negligible under ``fork``; under the
+        ``spawn`` fallback it includes interpreter boot and imports — size
+        timeouts generously there).
+    ``on_error``
+        ``"raise"`` (default) propagates the first cell failure —
+        the original exception for the serial backend, a
+        :class:`~repro.exceptions.SweepExecutionError` for the process
+        backend.  ``"record"`` turns a failed cell into a structured failed
+        :class:`~repro.api.runner.RunRecord` (error type, message,
+        traceback, timing) and keeps the sweep running.
+    """
+
+    backend: str = "serial"
+    workers: int = 1
+    timeout: float | None = None
+    on_error: str = "raise"
+
+    def __post_init__(self) -> None:
+        if self.backend not in EXECUTION_BACKENDS:
+            raise ConfigurationError(
+                f"execution backend must be one of {list(EXECUTION_BACKENDS)}, "
+                f"got {self.backend!r}"
+            )
+        if (
+            not isinstance(self.workers, int)
+            or isinstance(self.workers, bool)
+            or self.workers < 1
+        ):
+            raise ConfigurationError(
+                f"execution workers must be a positive integer, got {self.workers!r}"
+            )
+        if self.timeout is not None:
+            if isinstance(self.timeout, bool) or not isinstance(self.timeout, (int, float)):
+                raise ConfigurationError(
+                    f"execution timeout must be a number of seconds or null, "
+                    f"got {self.timeout!r}"
+                )
+            # NaN/inf would silently disable the deadline check and break
+            # strict-JSON serialisation (the non-standard NaN/Infinity tokens).
+            if not math.isfinite(self.timeout) or self.timeout <= 0:
+                raise ConfigurationError(
+                    f"execution timeout must be positive and finite, "
+                    f"got {self.timeout!r}"
+                )
+            object.__setattr__(self, "timeout", float(self.timeout))
+        if self.on_error not in ON_ERROR_MODES:
+            raise ConfigurationError(
+                f"execution on_error must be one of {list(ON_ERROR_MODES)}, "
+                f"got {self.on_error!r}"
+            )
+
+    @classmethod
+    def coerce(cls, value: Any) -> "ExecutionSpec":
+        """Build an :class:`ExecutionSpec` from the accepted shorthands.
+
+        ``None`` → defaults, a mapping → the full form (unknown keys
+        rejected), and an existing instance passes through unchanged.
+        """
+        if isinstance(value, cls):
+            return value
+        if value is None:
+            return cls()
+        if isinstance(value, Mapping):
+            unknown = set(value) - {"backend", "workers", "timeout", "on_error"}
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown execution keys {sorted(unknown)}; expected "
+                    "'backend'/'workers'/'timeout'/'on_error'"
+                )
+            return cls(
+                backend=value.get("backend", "serial"),
+                workers=value.get("workers", 1),
+                timeout=value.get("timeout"),
+                on_error=value.get("on_error", "raise"),
+            )
+        raise ConfigurationError(
+            f"cannot interpret {value!r} as an execution spec (need None or mapping)"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Exact, JSON-compatible representation (round-trips via coerce)."""
+        return {
+            "backend": self.backend,
+            "workers": self.workers,
+            "timeout": self.timeout,
+            "on_error": self.on_error,
+        }
+
+
 def derive_cell_seed(sweep_seed: int, cell_index: int) -> int:
     """Deterministic per-cell seed, independent of execution order.
 
@@ -243,16 +361,20 @@ class SweepSpec:
     cartesian product, in the insertion order of ``axes`` (last axis varies
     fastest).  Unless a ``"seed"`` axis is given explicitly, each cell's seed
     is derived from ``seed`` and the cell index via :func:`derive_cell_seed`.
+    ``execution`` (an :class:`ExecutionSpec`) says *how* the grid runs —
+    serial or process-parallel — and never changes what any cell computes.
     """
 
     base: ExperimentSpec = field(default_factory=ExperimentSpec)
     axes: Dict[str, List[Any]] = field(default_factory=dict)
     seed: int = 0
     name: str = "sweep"
+    execution: ExecutionSpec = field(default_factory=ExecutionSpec)
 
     def __post_init__(self) -> None:
         if not isinstance(self.base, ExperimentSpec):
             object.__setattr__(self, "base", ExperimentSpec.from_dict(self.base))
+        object.__setattr__(self, "execution", ExecutionSpec.coerce(self.execution))
         if not isinstance(self.axes, dict):
             raise ConfigurationError("axes must be a mapping of axis name -> value list")
         normalized = {}
@@ -304,21 +426,23 @@ class SweepSpec:
             "seed": self.seed,
             "base": self.base.to_dict(),
             "axes": {axis: list(values) for axis, values in self.axes.items()},
+            "execution": self.execution.to_dict(),
         }
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "SweepSpec":
-        unknown = set(payload) - {"name", "seed", "base", "axes"}
+        unknown = set(payload) - {"name", "seed", "base", "axes", "execution"}
         if unknown:
             raise ConfigurationError(
                 f"unknown SweepSpec keys {sorted(unknown)}; "
-                "expected 'name', 'seed', 'base', 'axes'"
+                "expected 'name', 'seed', 'base', 'axes', 'execution'"
             )
         return cls(
             base=ExperimentSpec.from_dict(payload.get("base") or {}),
             axes=dict(payload.get("axes") or {}),
             seed=payload.get("seed", 0),
             name=payload.get("name", "sweep"),
+            execution=ExecutionSpec.coerce(payload.get("execution")),
         )
 
     def to_json(self, indent: int | None = 2) -> str:

@@ -9,6 +9,15 @@ Spec-driven workflows::
 
     python -m repro.cli run   --spec spec.json
     python -m repro.cli sweep --spec sweep.json --out results.jsonl
+    python -m repro.cli sweep --spec sweep.json --workers 4 --on-error record
+
+``sweep`` executes serially by default; ``--workers N`` (N > 1) switches to
+the process-pool backend — bit-identical results, cells fanned out over N
+worker processes with shard-aware propagation-cache handoff.  ``--out``
+streams one ``RunRecord`` JSON object per line in canonical grid order
+whatever the backend, so for successful cells serial and parallel runs of
+the same spec produce lines that differ only in their ``timings`` (a failed
+cell's ``error`` traceback additionally carries backend-specific frames).
 
 Legacy workflows (compatibility wrappers that construct specs internally)::
 
@@ -27,13 +36,22 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace
 from pathlib import Path
-from typing import Any, Dict, List
+from typing import Any, Dict, List, TextIO
 
-from repro.api import ExperimentSpec, RunRecord, SweepSpec, run_experiment, run_sweep
+from repro.api import (
+    ExecutionSpec,
+    ExperimentSpec,
+    RunRecord,
+    SweepSpec,
+    run_experiment,
+    run_sweep,
+)
+from repro.api.spec import EXECUTION_BACKENDS, ON_ERROR_MODES
 from repro.datasets import list_datasets, statistics_table
 from repro.registry import CONDENSERS
-from repro.evaluation.reporting import format_percent, format_table
+from repro.evaluation.reporting import format_percent, format_table, sweep_summary_line
 from repro.utils.logging import enable_console_logging
 
 
@@ -54,7 +72,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep = subparsers.add_parser("sweep", help="run a cartesian grid described by a JSON sweep spec")
     sweep.add_argument("--spec", required=True, help="path to a SweepSpec JSON file ('-' for stdin)")
-    sweep.add_argument("--out", default=None, help="write one RunRecord JSON object per line to this file")
+    sweep.add_argument("--out", default=None,
+                       help="write one RunRecord JSON object per line (canonical grid order) to this file")
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="worker-process count; a value > 1 switches the backend to "
+                            "'process' unless --backend serial is given explicitly")
+    sweep.add_argument("--backend", choices=EXECUTION_BACKENDS, default=None,
+                       help="execution backend (overrides the spec's execution block)")
+    sweep.add_argument("--cell-timeout", type=float, default=None,
+                       help="per-cell timeout in seconds (enforced by the process backend)")
+    sweep.add_argument("--on-error", choices=ON_ERROR_MODES, default=None,
+                       help="'record' turns a failing cell into a failed RunRecord and keeps "
+                            "going (exit code 1 if any cell failed); 'raise' aborts the sweep")
     sweep.add_argument("--verbose", action="store_true", help="enable console logging")
 
     condense = subparsers.add_parser("condense", help="run a clean graph condensation")
@@ -149,13 +178,17 @@ def run_datasets_command() -> int:
 
 
 def _record_row(record: RunRecord) -> Dict[str, Any]:
-    """Table-II-style row for one RunRecord."""
+    """Table-II-style row for one RunRecord (failed cells show their error)."""
     spec = record.spec
     row: Dict[str, Any] = {
         "dataset": spec.dataset.name,
         "method": spec.condenser.name,
         "ratio": spec.condenser.overrides.get("ratio", ""),
     }
+    if not record.ok:
+        error = record.error or {}
+        row["status"] = f"failed: {error.get('type', 'Exception')}"
+        return row
     if spec.attack.is_set:
         row.update(
             {
@@ -191,21 +224,84 @@ def run_run_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def execution_from_args(args: argparse.Namespace, base: ExecutionSpec) -> ExecutionSpec:
+    """Overlay the sweep CLI flags onto the spec's own execution block.
+
+    ``--workers N`` with N > 1 implies the process backend (the spec stays
+    serial only when ``--backend serial`` is passed explicitly); every other
+    flag overrides its field alone.
+    """
+    execution = base
+    if args.workers is not None:
+        backend = args.backend or (
+            "process" if args.workers > 1 else execution.backend
+        )
+        execution = replace(execution, workers=args.workers, backend=backend)
+    elif args.backend is not None:
+        execution = replace(execution, backend=args.backend)
+    if args.cell_timeout is not None:
+        execution = replace(execution, timeout=args.cell_timeout)
+    if args.on_error is not None:
+        execution = replace(execution, on_error=args.on_error)
+    return execution
+
+
+class _OrderedJsonlSink:
+    """Stream RunRecords to a JSONL file in canonical grid order.
+
+    The process backend completes cells out of order; this reorder buffer
+    flushes a record only once every lower grid index has been written, so
+    serial and parallel runs of the same sweep produce byte-comparable files
+    (modulo the wall-clock ``timings``).
+    """
+
+    def __init__(self, handle: TextIO) -> None:
+        self._handle = handle
+        self._buffered: Dict[int, str] = {}
+        self._next_index = 0
+
+    def __call__(self, record: RunRecord) -> None:
+        index = record.cell_index if record.cell_index is not None else self._next_index
+        self._buffered[index] = json.dumps(record.to_dict())
+        while self._next_index in self._buffered:
+            self._handle.write(self._buffered.pop(self._next_index) + "\n")
+            self._handle.flush()
+            self._next_index += 1
+
+    def flush_remaining(self) -> None:
+        """Write any still-buffered records, ascending by grid index.
+
+        Called when the sweep aborts (``on_error="raise"``) before a
+        lower-indexed cell completed: records that *did* complete must reach
+        the file — with index gaps — rather than be dropped with the buffer.
+        """
+        for index in sorted(self._buffered):
+            self._handle.write(self._buffered.pop(index) + "\n")
+        self._handle.flush()
+
+
 def run_sweep_command(args: argparse.Namespace) -> int:
     sweep = SweepSpec.from_dict(_load_payload(args.spec))
+    execution = execution_from_args(args, sweep.execution)
     sink = open(args.out, "w") if args.out else None
+    on_record = _OrderedJsonlSink(sink) if sink is not None else None
     try:
-        def emit(record: RunRecord) -> None:
-            line = json.dumps(record.to_dict())
-            if sink is not None:
-                sink.write(line + "\n")
-                sink.flush()
-        records = run_sweep(sweep, on_record=emit)
+        records = run_sweep(sweep, on_record=on_record, execution=execution)
     finally:
         if sink is not None:
+            on_record.flush_remaining()
             sink.close()
     print(format_table(_align_rows([_record_row(record) for record in records])))
-    return 0
+    print(
+        sweep_summary_line(
+            len(records),
+            len(records.failed),
+            execution.backend,
+            execution.workers,
+            records.cache_stats,
+        )
+    )
+    return 1 if records.failed else 0
 
 
 def _align_rows(rows: List[Dict[str, Any]]) -> List[Dict[str, Any]]:

@@ -1,13 +1,14 @@
-"""Plain-text table formatting for benchmark output.
+"""Plain-text table formatting for benchmark and sweep output.
 
 Benchmarks print the same rows/series as the paper's tables and figures; this
 module renders lists of dictionaries as aligned text tables without any
-third-party dependency.
+third-party dependency, plus the one-line summaries the CLI prints after a
+sweep (cell/failure counts and merged cache counters).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Mapping, Sequence
 
 
 def format_percent(value: float, decimals: int = 2) -> str:
@@ -47,3 +48,35 @@ def format_table(
         " | ".join(line[i].ljust(widths[i]) for i in range(len(columns))) for line in rendered
     )
     return f"{header}\n{separator}\n{body}"
+
+
+def format_cache_stats(stats: Mapping[str, int]) -> str:
+    """Render merged :class:`~repro.graph.cache.PropagationCache` counters.
+
+    One compact ``key=value`` line (insertion order preserved); an empty
+    mapping renders as ``(no cache stats)``.
+    """
+    if not stats:
+        return "(no cache stats)"
+    return " ".join(f"{key}={value}" for key, value in stats.items())
+
+
+def sweep_summary_line(
+    num_cells: int,
+    num_failed: int,
+    backend: str,
+    workers: int,
+    cache_stats: Mapping[str, int] | None = None,
+) -> str:
+    """The one-line sweep summary the CLI prints under the results table."""
+    parts = [
+        f"{num_cells} cells",
+        f"{num_failed} failed" if num_failed else "all ok",
+        f"backend={backend}",
+    ]
+    if backend != "serial":
+        parts.append(f"workers={workers}")
+    line = f"sweep: {', '.join(parts)}"
+    if cache_stats:
+        line += f" | cache: {format_cache_stats(cache_stats)}"
+    return line

@@ -37,3 +37,18 @@ class AutogradError(ReproError):
 
 class DatasetError(ReproError):
     """Raised when a dataset cannot be generated or validated."""
+
+
+class SweepExecutionError(ReproError):
+    """Raised when a sweep cell fails under ``on_error="raise"``.
+
+    The process execution backend cannot re-raise the worker's original
+    exception object (only its formatted traceback crosses the process
+    boundary), so failures surface as this type instead.  ``record`` holds
+    the failed :class:`~repro.api.runner.RunRecord`, whose ``error`` mapping
+    carries the original exception type name, message and traceback text.
+    """
+
+    def __init__(self, message: str, record=None) -> None:
+        super().__init__(message)
+        self.record = record

@@ -355,6 +355,71 @@ class PropagationCache:
             self.incremental_updates += 1
             return view
 
+    # -------------------------------------------------------------- #
+    # Cross-process warm-start handoff
+    # -------------------------------------------------------------- #
+    def export_base_chains(self, graph) -> Dict[str, object]:
+        """Picklable snapshot of ``graph``'s cached base artefacts.
+
+        Returns the normalized operator, its degree vector and every
+        materialised hop product currently resident for ``graph`` — exactly
+        the state a fresh cache needs to serve incremental updates against
+        this base without re-paying base propagation.  The payload contains
+        only plain numpy/scipy containers, so it pickles cleanly across a
+        process boundary (the parallel sweep executor ships it to every
+        worker assigned a cell on this dataset shard).  Returns an empty
+        mapping when nothing is resident.  Exporting counts neither as a hit
+        nor as a miss.
+        """
+        with self._lock:
+            shard = self._shards.get(self._shard_key(graph))
+            entry = shard.get(self._key(graph)) if shard is not None else None
+            if entry is None:
+                return {}
+            payload: Dict[str, object] = {
+                "hops": {
+                    hop: product
+                    for hop, product in entry.hops.items()
+                    if isinstance(product, np.ndarray)
+                }
+            }
+            if entry.normalized is not None:
+                payload["normalized"] = entry.normalized
+                payload["degrees"] = entry.degrees
+                payload["nonnegative"] = entry.nonnegative
+            if not payload["hops"] and "normalized" not in payload:
+                return {}
+            return payload
+
+    def warm_start(self, graph, payload: Dict[str, object]) -> None:
+        """Install an :meth:`export_base_chains` payload under ``graph``'s key.
+
+        ``graph`` must hold the *same content* as the graph the payload was
+        exported from (the usual case: the identical dataset loaded — or
+        forked/unpickled — in another process).  Re-keying happens here:
+        version tokens are process-local, so the payload is installed under
+        *this* graph's key, whatever the exporting process called it.
+        Subsequent :meth:`normalized` / :meth:`propagated` calls on ``graph``
+        are plain hits, and derived graphs patch incrementally against the
+        installed chains; warm-starting itself counts neither as a hit nor
+        as a miss.  An empty payload is a no-op.
+        """
+        if not payload:
+            return
+        with self._lock:
+            shard = self._shard(self._shard_key(graph))
+            entry = self._entry(shard, self._key(graph))
+            normalized = payload.get("normalized")
+            if normalized is not None:
+                # Install the exported fields directly: the nonnegative flag
+                # was already computed by the exporting cache, and re-deriving
+                # it through _set_normalized would rescan all nnz entries.
+                entry.normalized = normalized
+                entry.degrees = payload.get("degrees")
+                entry.nonnegative = bool(payload.get("nonnegative", False))
+            for hop, product in dict(payload.get("hops") or {}).items():
+                entry.hops[int(hop)] = np.asarray(product)
+
     def invalidate(self, graph=None) -> None:
         """Drop every cached artefact (entries, raw memo, recycled buffers).
 

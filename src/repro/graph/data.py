@@ -129,6 +129,21 @@ class GraphData:
         self.version = next_version()
         self.validate()
 
+    def __setstate__(self, state: Dict) -> None:
+        """Restore a pickled graph, drawing a *fresh* version token.
+
+        Version tokens are process-local: an unpickled graph carrying the
+        exporting process's token could collide with a token this process
+        has already issued (or will issue) for a completely different graph,
+        and the :class:`~repro.graph.cache.PropagationCache` would silently
+        serve one graph's chains for the other.  Re-issuing here restores
+        the invariant that tokens are unique within a process; graphs
+        pickled together (a derived graph and its base) keep their object
+        identity, so derivation chains stay consistent.
+        """
+        self.__dict__.update(state)
+        self.version = next_version()
+
     # -------------------------------------------------------------- #
     # Validation and basic properties
     # -------------------------------------------------------------- #

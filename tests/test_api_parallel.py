@@ -1,0 +1,372 @@
+"""Parallel sweep executor: bit-identity, fault isolation, cache handoff.
+
+The contract under test (see :mod:`repro.api.parallel`):
+
+* the process backend is **bit-identical** to serial execution — same
+  metrics, same derived seeds, same condensed-graph hashes — for any worker
+  count and any dispatch order;
+* a cell that raises, times out or kills its worker becomes a structured
+  failed :class:`~repro.api.runner.RunRecord` under ``on_error="record"``
+  while the other cells complete, and aborts the sweep under
+  ``on_error="raise"``;
+* workers receive the parent's base propagation chains (shard-aware cache
+  handoff) and ship their cache counters back, merged onto
+  ``SweepRecord.cache_stats``.
+
+The fault-injection tests register throwaway condensers at runtime, which
+only reach worker processes under the ``fork`` start method (workers forked
+from the test process inherit the registry); they are skipped on platforms
+without ``fork``.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import pickle
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    ExecutionSpec,
+    RunRecord,
+    SweepRecord,
+    SweepSpec,
+    run_sweep,
+)
+from repro.api.parallel import prepare_handoff, preferred_start_method
+from repro.exceptions import SweepExecutionError
+from repro.graph.cache import PropagationCache
+from repro.registry import CONDENSERS
+
+needs_fork = pytest.mark.skipif(
+    preferred_start_method() != "fork",
+    reason="in-test registered components reach workers only under fork",
+)
+
+#: Fields compared for bit-identity (hashes pin the full condensed arrays).
+IDENTITY_FIELDS = (
+    "clean_cta",
+    "clean_asr",
+    "attack_cta",
+    "attack_asr",
+    "defense_cta",
+    "defense_asr",
+    "defense_cta_delta",
+    "defense_asr_delta",
+    "poisoned_nodes",
+    "condensed_nodes",
+    "condensed_hash",
+    "attack_condensed_hash",
+    "status",
+)
+
+
+def smoke_sweep(seed: int = 7) -> SweepSpec:
+    """The 2×2×1 acceptance grid: gcond/gc-sntk × bgc/naive × prune on tiny."""
+    return SweepSpec.from_dict(
+        {
+            "name": "parallel-smoke",
+            "seed": seed,
+            "base": {
+                "dataset": "tiny",
+                "condenser": {"overrides": {"epochs": 2, "ratio": 0.2}},
+                "trigger": {"overrides": {"trigger_size": 2}},
+                "evaluation": {"overrides": {"epochs": 10}},
+            },
+            "axes": {
+                "condenser": ["gcond", "gc-sntk"],
+                "attack": [
+                    {"name": "bgc", "overrides": {"epochs": 2, "poison_ratio": 0.2}},
+                    {"name": "naive", "overrides": {"poison_fraction": 0.4}},
+                ],
+                "defense": ["prune"],
+            },
+        }
+    )
+
+
+def assert_records_identical(a: RunRecord, b: RunRecord) -> None:
+    """Exact equality of every identity field (NaN matches NaN)."""
+    assert a.spec == b.spec, f"cell {a.cell_index}: specs differ"
+    assert a.spec.seed == b.spec.seed
+    assert a.cell_index == b.cell_index
+    for name in IDENTITY_FIELDS:
+        va, vb = getattr(a, name), getattr(b, name)
+        if isinstance(va, float) and isinstance(vb, float):
+            if math.isnan(va) and math.isnan(vb):
+                continue
+            assert va == vb, f"cell {a.cell_index}: {name} {va!r} != {vb!r}"
+        else:
+            assert va == vb, f"cell {a.cell_index}: {name} {va!r} != {vb!r}"
+
+
+@pytest.fixture(scope="module")
+def serial_baseline():
+    """One serial run of the smoke grid, shared across the identity tests."""
+    return run_sweep(smoke_sweep())
+
+
+def fault_sweep(condensers, **execution) -> SweepSpec:
+    """A tiny attack-free grid sweeping the given condenser names."""
+    return SweepSpec.from_dict(
+        {
+            "name": "fault-grid",
+            "seed": 3,
+            "base": {
+                "dataset": "tiny",
+                "condenser": {"overrides": {"epochs": 2, "ratio": 0.2}},
+                "evaluation": {"overrides": {"epochs": 5}},
+            },
+            "axes": {"condenser": list(condensers)},
+            "execution": execution or None,
+        }
+    )
+
+
+@pytest.fixture
+def crashing_condenser():
+    """A condenser that always raises (registered for this test only)."""
+
+    class _Crashing:
+        def condense(self, graph, rng):
+            raise RuntimeError("deliberate crash-test failure")
+
+    CONDENSERS.register("crash-test", factory=lambda **kwargs: _Crashing())
+    yield "crash-test"
+    CONDENSERS.unregister("crash-test")
+
+
+@pytest.fixture
+def sleeping_condenser():
+    """A condenser that hangs far past any test timeout."""
+
+    class _Sleeping:
+        def condense(self, graph, rng):
+            time.sleep(60.0)
+
+    CONDENSERS.register("sleep-test", factory=lambda **kwargs: _Sleeping())
+    yield "sleep-test"
+    CONDENSERS.unregister("sleep-test")
+
+
+@pytest.fixture
+def dying_condenser():
+    """A condenser that kills its worker process outright (no exception)."""
+
+    class _Dying:
+        def condense(self, graph, rng):
+            os._exit(3)
+
+    CONDENSERS.register("die-test", factory=lambda **kwargs: _Dying())
+    yield "die-test"
+    CONDENSERS.unregister("die-test")
+
+
+class TestParallelBitIdentity:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_worker_count_never_changes_results(self, workers, serial_baseline):
+        records = run_sweep(
+            smoke_sweep(),
+            execution=ExecutionSpec(backend="process", workers=workers),
+        )
+        assert len(records) == len(serial_baseline)
+        for a, b in zip(serial_baseline, records):
+            assert_records_identical(a, b)
+
+    def test_shuffled_dispatch_is_bit_identical(self, serial_baseline):
+        records = run_sweep(
+            smoke_sweep(),
+            order=[3, 1, 0, 2],
+            execution=ExecutionSpec(backend="process", workers=2),
+        )
+        assert [record.cell_index for record in records] == [0, 1, 2, 3]
+        for a, b in zip(serial_baseline, records):
+            assert_records_identical(a, b)
+
+    def test_spec_execution_block_drives_backend(self, serial_baseline):
+        """A sweep whose own execution block says process/2 needs no kwarg."""
+        payload = smoke_sweep().to_dict()
+        payload["execution"] = {"backend": "process", "workers": 2}
+        records = run_sweep(SweepSpec.from_dict(payload))
+        for a, b in zip(serial_baseline, records):
+            assert_records_identical(a, b)
+
+    def test_condensed_hashes_are_populated(self, serial_baseline):
+        for record in serial_baseline:
+            assert record.condensed_hash is not None
+            assert record.attack_condensed_hash is not None
+
+    def test_on_record_sees_every_cell(self):
+        seen = []
+        run_sweep(
+            smoke_sweep(),
+            execution=ExecutionSpec(backend="process", workers=2),
+            on_record=lambda record: seen.append(record.cell_index),
+        )
+        assert sorted(seen) == [0, 1, 2, 3]
+
+    def test_no_worker_processes_leak(self):
+        run_sweep(smoke_sweep(), execution=ExecutionSpec(backend="process", workers=4))
+        leaked = [
+            child
+            for child in multiprocessing.active_children()
+            if child.name.startswith("repro-sweep-")
+        ]
+        assert not leaked
+
+
+class TestFaultInjection:
+    @needs_fork
+    def test_record_mode_isolates_a_crashing_cell(self, crashing_condenser):
+        records = run_sweep(
+            fault_sweep(["gcond", crashing_condenser]),
+            execution=ExecutionSpec(backend="process", workers=2, on_error="record"),
+        )
+        assert isinstance(records, SweepRecord)
+        ok, failed = records[0], records[1]
+        assert ok.ok and 0.0 <= ok.clean_cta <= 1.0
+        assert failed.status == "failed"
+        assert failed.error["type"] == "RuntimeError"
+        assert "deliberate crash-test failure" in failed.error["message"]
+        assert "RuntimeError" in failed.error["traceback"]
+        assert failed.cell_index == 1
+        assert records.failed == [failed]
+        assert math.isnan(failed.clean_cta)
+        assert "cell" in failed.timings
+
+    def test_record_mode_serial_backend(self, crashing_condenser):
+        records = run_sweep(
+            fault_sweep(["gcond", crashing_condenser]),
+            execution=ExecutionSpec(backend="serial", on_error="record"),
+        )
+        assert records[0].ok
+        assert records[1].error["type"] == "RuntimeError"
+        assert "deliberate crash-test failure" in records[1].error["traceback"]
+
+    @needs_fork
+    def test_raise_mode_process_backend_aborts(self, crashing_condenser):
+        with pytest.raises(SweepExecutionError, match="deliberate crash-test") as info:
+            run_sweep(
+                fault_sweep([crashing_condenser, "gcond"]),
+                execution=ExecutionSpec(backend="process", workers=2, on_error="raise"),
+            )
+        assert info.value.record.error["type"] == "RuntimeError"
+
+    def test_raise_mode_serial_propagates_original_exception(self, crashing_condenser):
+        with pytest.raises(RuntimeError, match="deliberate crash-test failure"):
+            run_sweep(
+                fault_sweep([crashing_condenser, "gcond"]),
+                execution=ExecutionSpec(backend="serial", on_error="raise"),
+            )
+
+    @needs_fork
+    def test_timeout_terminates_and_records_the_cell(self, sleeping_condenser):
+        start = time.perf_counter()
+        records = run_sweep(
+            fault_sweep(["gcond", sleeping_condenser]),
+            execution=ExecutionSpec(
+                backend="process", workers=2, timeout=1.0, on_error="record"
+            ),
+        )
+        elapsed = time.perf_counter() - start
+        assert elapsed < 30.0, "timed-out cell was not terminated"
+        assert records[0].ok
+        assert records[1].status == "failed"
+        assert records[1].error["type"] == "CellTimeout"
+        assert "1.0" in records[1].error["message"]
+        assert records[1].timings["cell"] >= 1.0
+        leaked = [
+            child
+            for child in multiprocessing.active_children()
+            if child.name.startswith("repro-sweep-")
+        ]
+        assert not leaked
+
+    @needs_fork
+    def test_timeout_under_raise_mode_aborts(self, sleeping_condenser):
+        with pytest.raises(SweepExecutionError, match="CellTimeout"):
+            run_sweep(
+                fault_sweep([sleeping_condenser]),
+                execution=ExecutionSpec(
+                    backend="process", workers=1, timeout=0.5, on_error="raise"
+                ),
+            )
+
+    @needs_fork
+    def test_worker_death_without_result_is_recorded(self, dying_condenser):
+        records = run_sweep(
+            fault_sweep(["gcond", dying_condenser]),
+            execution=ExecutionSpec(backend="process", workers=2, on_error="record"),
+        )
+        assert records[0].ok
+        assert records[1].error["type"] == "WorkerCrash"
+        assert "3" in records[1].error["message"]
+
+    def test_unloadable_dataset_is_recorded_not_fatal(self):
+        """A dataset that fails to load fails its cells, not the sweep."""
+        sweep = SweepSpec.from_dict(
+            {
+                "name": "bad-dataset",
+                "seed": 0,
+                "base": {
+                    "condenser": {"name": "gcond", "overrides": {"epochs": 2, "ratio": 0.2}},
+                    "evaluation": {"overrides": {"epochs": 5}},
+                },
+                "axes": {"dataset": ["tiny", "no-such-dataset"]},
+            }
+        )
+        records = run_sweep(
+            sweep,
+            execution=ExecutionSpec(backend="process", workers=2, on_error="record"),
+        )
+        assert records[0].ok
+        assert records[1].status == "failed"
+        assert records[1].error["type"] == "DatasetError"
+
+
+class TestCacheHandoff:
+    def test_sweep_record_carries_merged_worker_stats(self):
+        records = run_sweep(
+            smoke_sweep(),
+            execution=ExecutionSpec(backend="process", workers=2),
+        )
+        stats = records.cache_stats
+        assert stats["contributors"] == 5  # 4 cells + the parent's handoff delta
+        assert stats["hits"] > 0
+        assert stats["incremental_updates"] > 0  # workers patched, not recomputed
+
+    def test_serial_backend_reports_cache_delta(self):
+        records = run_sweep(smoke_sweep())
+        assert records.cache_stats["contributors"] == 1
+        assert records.cache_stats["misses"] >= 0
+
+    def test_prepare_handoff_skips_the_pickle_under_fork(self):
+        """Forked workers inherit the warmed cache; no payload is built."""
+        specs = smoke_sweep().expand()
+        graphs, warm = prepare_handoff(specs, start_method="fork")
+        assert graphs and warm == {}
+
+    def test_prepare_handoff_exports_pickled_base_chains(self):
+        """The spawn path's payload: pickled base chains, installable cold."""
+        specs = smoke_sweep().expand()
+        graphs, warm = prepare_handoff(specs, start_method="spawn")
+        (key,) = graphs  # one dataset shard in the grid
+        payload = pickle.loads(warm[key])
+        assert payload["normalized"] is not None
+        assert set(payload["hops"]) >= {0, 1, 2}  # gcond's num_hops=2 chain
+
+        # A fresh cache warm-started from the payload serves the chain as
+        # pure hits: no worker re-pays base propagation.
+        cache = PropagationCache()
+        cache.warm_start(graphs[key], payload)
+        misses_before = cache.misses
+        product = cache.propagated(graphs[key], 2)
+        assert cache.misses == misses_before
+        assert cache.hits >= 1
+        np.testing.assert_array_equal(
+            product, pickle.loads(warm[key])["hops"][2]
+        )

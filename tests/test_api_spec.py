@@ -8,6 +8,7 @@ import pytest
 
 from repro.api.spec import (
     ComponentSpec,
+    ExecutionSpec,
     ExperimentSpec,
     SweepSpec,
     derive_cell_seed,
@@ -213,3 +214,98 @@ class TestSweepSpec:
         cells = sweep.expand()
         assert len(cells) == 1
         assert cells[0].seed == derive_cell_seed(2, 0)
+
+
+class TestExecutionSpec:
+    def test_defaults(self):
+        execution = ExecutionSpec()
+        assert execution.backend == "serial"
+        assert execution.workers == 1
+        assert execution.timeout is None
+        assert execution.on_error == "raise"
+
+    def test_coerce_shorthands(self):
+        assert ExecutionSpec.coerce(None) == ExecutionSpec()
+        assert ExecutionSpec.coerce(
+            {"backend": "process", "workers": 4}
+        ) == ExecutionSpec(backend="process", workers=4)
+        existing = ExecutionSpec(backend="process", workers=2)
+        assert ExecutionSpec.coerce(existing) is existing
+
+    def test_coerce_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError, match="unknown execution keys"):
+            ExecutionSpec.coerce({"backend": "process", "worker": 4})
+
+    def test_coerce_rejects_wrong_type(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionSpec.coerce("process")
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="backend"):
+            ExecutionSpec(backend="threads")
+
+    def test_invalid_on_error_rejected(self):
+        with pytest.raises(ConfigurationError, match="on_error"):
+            ExecutionSpec(on_error="ignore")
+
+    @pytest.mark.parametrize("workers", [0, -1, 1.5, True, "4"])
+    def test_invalid_workers_rejected(self, workers):
+        with pytest.raises(ConfigurationError, match="workers"):
+            ExecutionSpec(workers=workers)
+
+    @pytest.mark.parametrize(
+        "timeout", [0, -2.0, "fast", True, float("nan"), float("inf")]
+    )
+    def test_invalid_timeout_rejected(self, timeout):
+        with pytest.raises(ConfigurationError, match="timeout"):
+            ExecutionSpec(timeout=timeout)
+
+    def test_integer_timeout_normalises_to_float(self):
+        assert ExecutionSpec(timeout=30).timeout == 30.0
+
+    def test_exact_dict_round_trip(self):
+        execution = ExecutionSpec(
+            backend="process", workers=4, timeout=120.0, on_error="record"
+        )
+        assert ExecutionSpec.coerce(execution.to_dict()) == execution
+
+    def test_json_round_trip(self):
+        execution = ExecutionSpec(backend="process", workers=2, on_error="record")
+        recovered = ExecutionSpec.coerce(json.loads(json.dumps(execution.to_dict())))
+        assert recovered == execution
+
+    def test_sweep_round_trips_execution_block(self):
+        sweep = SweepSpec.from_dict(
+            {
+                "base": {"dataset": "tiny"},
+                "axes": {"condenser": ["gcond", "gc-sntk"]},
+                "execution": {"backend": "process", "workers": 4,
+                              "timeout": 60, "on_error": "record"},
+            }
+        )
+        assert sweep.execution == ExecutionSpec(
+            backend="process", workers=4, timeout=60.0, on_error="record"
+        )
+        assert SweepSpec.from_dict(sweep.to_dict()) == sweep
+        assert SweepSpec.from_json(sweep.to_json()) == sweep
+        assert sweep.to_dict()["execution"]["backend"] == "process"
+
+    def test_sweep_without_execution_gets_defaults(self):
+        sweep = SweepSpec.from_dict({"base": {"dataset": "tiny"}, "axes": {}})
+        assert sweep.execution == ExecutionSpec()
+        assert "execution" in sweep.to_dict()
+
+    def test_execution_never_changes_expansion(self):
+        """Execution settings are orthogonal to what the grid computes."""
+        payload = {
+            "seed": 5,
+            "base": {"dataset": "tiny"},
+            "axes": {"condenser": ["gcond", "gc-sntk"]},
+        }
+        serial = SweepSpec.from_dict(payload)
+        parallel = SweepSpec.from_dict(
+            {**payload, "execution": {"backend": "process", "workers": 8}}
+        )
+        assert [spec.to_dict() for spec in serial.expand()] == [
+            spec.to_dict() for spec in parallel.expand()
+        ]

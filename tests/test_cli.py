@@ -55,6 +55,90 @@ class TestParser:
         assert args.method == alias
 
 
+class TestSweepExecutionFlags:
+    def _args(self, *extra):
+        return build_parser().parse_args(["sweep", "--spec", "sweep.json", *extra])
+
+    def test_defaults_leave_spec_execution_untouched(self):
+        from repro.api import ExecutionSpec
+        from repro.cli import execution_from_args
+
+        base = ExecutionSpec(backend="process", workers=3, on_error="record")
+        assert execution_from_args(self._args(), base) == base
+
+    def test_workers_above_one_implies_process_backend(self):
+        from repro.api import ExecutionSpec
+        from repro.cli import execution_from_args
+
+        execution = execution_from_args(self._args("--workers", "4"), ExecutionSpec())
+        assert execution.backend == "process"
+        assert execution.workers == 4
+
+    def test_explicit_serial_backend_wins_over_workers(self):
+        from repro.api import ExecutionSpec
+        from repro.cli import execution_from_args
+
+        execution = execution_from_args(
+            self._args("--workers", "4", "--backend", "serial"), ExecutionSpec()
+        )
+        assert execution.backend == "serial"
+
+    def test_timeout_and_on_error_flags_override(self):
+        from repro.api import ExecutionSpec
+        from repro.cli import execution_from_args
+
+        execution = execution_from_args(
+            self._args("--cell-timeout", "2.5", "--on-error", "record"),
+            ExecutionSpec(),
+        )
+        assert execution.timeout == 2.5
+        assert execution.on_error == "record"
+
+    def test_invalid_backend_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            self._args("--backend", "threads")
+
+
+class TestOrderedJsonlSink:
+    def test_out_of_order_records_flush_in_canonical_order(self, tmp_path):
+        import io
+        import json
+
+        from repro.api import ExperimentSpec, RunRecord
+        from repro.cli import _OrderedJsonlSink
+
+        buffer = io.StringIO()
+        sink = _OrderedJsonlSink(buffer)
+        spec = ExperimentSpec.from_dict({"dataset": "tiny"})
+        for index in (2, 0, 1):  # completion order != grid order
+            sink(RunRecord(spec=spec, cell_index=index))
+        written = [
+            json.loads(line)["cell_index"]
+            for line in buffer.getvalue().strip().splitlines()
+        ]
+        assert written == [0, 1, 2]
+
+    def test_flush_remaining_preserves_completed_records_on_abort(self):
+        """A raise-mode abort must not drop records buffered behind the gap."""
+        import io
+        import json
+
+        from repro.api import ExperimentSpec, RunRecord
+        from repro.cli import _OrderedJsonlSink
+
+        buffer = io.StringIO()
+        sink = _OrderedJsonlSink(buffer)
+        spec = ExperimentSpec.from_dict({"dataset": "tiny"})
+        sink(RunRecord(spec=spec, cell_index=2))  # completed while 0 failed
+        assert buffer.getvalue() == ""  # held back waiting for cells 0-1
+        sink.flush_remaining()  # the CLI's finally block on abort
+        written = [
+            json.loads(line)["cell_index"]
+            for line in buffer.getvalue().strip().splitlines()
+        ]
+        assert written == [2]
+
+
 class TestRowAlignment:
     def test_align_rows_unions_columns(self):
         """Mixed clean/attacked sweep rows must not lose attack columns."""

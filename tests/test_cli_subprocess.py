@@ -88,6 +88,30 @@ class TestSpecDrivenCommands:
             assert record["spec"]["attack"]["name"] == "bgc"
             assert 0.0 <= record["defense_cta"] <= 1.0
 
+    def test_parallel_sweep_matches_serial_jsonl(self, tmp_path):
+        """The CI acceptance check: --workers 2 produces the same results.jsonl
+        as the serial run (modulo wall-clock timings), in canonical order."""
+        spec_path = tmp_path / "sweep.json"
+        spec_path.write_text(json.dumps(TINY_SWEEP))
+        serial_path = tmp_path / "serial.jsonl"
+        parallel_path = tmp_path / "parallel.jsonl"
+        serial = run_cli("sweep", "--spec", str(spec_path), "--out", str(serial_path))
+        assert serial.returncode == 0, serial.stderr
+        parallel = run_cli(
+            "sweep", "--spec", str(spec_path), "--workers", "2",
+            "--out", str(parallel_path),
+        )
+        assert parallel.returncode == 0, parallel.stderr
+        assert "backend=process" in parallel.stdout
+
+        def strip_timings(path: Path):
+            return [
+                {k: v for k, v in json.loads(line).items() if k != "timings"}
+                for line in path.read_text().strip().splitlines()
+            ]
+
+        assert strip_timings(serial_path) == strip_timings(parallel_path)
+
     def test_run_rejects_invalid_spec(self, tmp_path):
         spec_path = tmp_path / "spec.json"
         spec_path.write_text(json.dumps({"condenser": "doscond"}))

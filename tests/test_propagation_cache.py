@@ -68,6 +68,28 @@ class TestVersionTokens:
         newer = small_graph.with_(name="renamed")
         assert newer.version > small_graph.version
 
+    def test_unpickled_graph_draws_a_fresh_version(self, small_graph):
+        """Version tokens are process-local: a pickled graph must re-key.
+
+        An unpickled graph carrying a foreign process's token could collide
+        with a token this process issues for a different graph (the spawn
+        start method resets the counter), and the cache would silently serve
+        one graph's chains for the other.
+        """
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(small_graph))
+        assert clone.version != small_graph.version
+        np.testing.assert_array_equal(clone.features, small_graph.features)
+        # The clone is cache-consistent under its new key.
+        cache = PropagationCache()
+        np.testing.assert_allclose(
+            cache.propagated(clone, 2),
+            sgc_precompute(clone.adjacency, clone.features, 2),
+            rtol=0.0,
+            atol=1e-12,
+        )
+
     def test_label_only_variant_records_empty_delta(self, small_graph):
         variant = small_graph.with_(labels=small_graph.labels.copy())
         assert variant.derivation is not None
@@ -297,6 +319,123 @@ class TestCacheBehaviour:
             DCGraph(config, cache=cache)._real_propagated(small_graph)
             is small_graph.features
         )
+
+
+class TestShardedLRUStress:
+    """Property/stress coverage of the two-level (shard, entry) LRU."""
+
+    def test_interleaved_multi_dataset_stream_respects_bounds(self):
+        """Random interleaving over several datasets never exceeds the caps.
+
+        Property-style: a long stream of base propagations and derived
+        deltas over four datasets, driven by a seeded RNG, checked after
+        *every* operation — ``shards <= max_shards``, every shard holds at
+        most ``max_graphs`` entries, and the totals stats agree.
+        """
+        rng = new_rng(4242)
+        cache = PropagationCache(max_graphs=3, max_shards=2)
+        bases = [build_small_graph(seed=seed) for seed in range(4)]
+        for _ in range(60):
+            graph = bases[int(rng.integers(len(bases)))]
+            if rng.random() < 0.5:
+                graph = _random_delta(graph, rng)
+            cache.propagated(graph, int(rng.integers(1, 4)))
+            stats = cache.stats()
+            assert stats["shards"] <= 2
+            assert stats["graphs"] <= 2 * 3
+            for shard in cache._shards.values():
+                assert len(shard) <= 3
+
+    def test_eviction_order_is_lru_within_a_shard(self, small_graph, rng):
+        """Touching an entry protects it; the least-recently-used one falls."""
+        cache = PropagationCache(max_graphs=3)
+        cache.propagated(small_graph, 2)  # base chain (kept hot by derived use)
+        first = _random_delta(small_graph, rng)
+        second = _random_delta(small_graph, rng)
+        cache.propagated(first, 2)
+        cache.propagated(second, 2)
+        cache.propagated(first, 2)  # refresh `first`: now `second` is LRU
+        third = _random_delta(small_graph, rng)
+        cache.propagated(third, 2)  # over capacity: evicts exactly one entry
+        (shard,) = cache._shards.values()
+        assert small_graph.version in shard, "base chain must stay resident"
+        assert first.version in shard, "recently-touched entry was evicted"
+        assert third.version in shard
+        assert second.version not in shard, "LRU entry should have been evicted"
+
+    def test_shard_eviction_retires_whole_datasets_lru_first(self):
+        cache = PropagationCache(max_graphs=2, max_shards=2)
+        a, b, c = (build_small_graph(seed=seed) for seed in (31, 32, 33))
+        cache.propagated(a, 1)
+        cache.propagated(b, 1)
+        cache.propagated(a, 1)  # refresh dataset A: B is now the LRU shard
+        cache.propagated(c, 1)  # third dataset: B's shard is retired whole
+        assert a.version in cache._shards
+        assert c.version in cache._shards
+        assert b.version not in cache._shards
+
+
+class TestWarmStartHandoff:
+    """export_base_chains / warm_start: the parallel executor's cache handoff."""
+
+    def test_round_trip_through_pickle_is_exact_and_hit_consistent(self, small_graph):
+        import pickle
+
+        source = PropagationCache()
+        expected = source.propagated(small_graph, 2)
+        counters_before = (source.hits, source.misses)
+        payload = pickle.loads(pickle.dumps(source.export_base_chains(small_graph)))
+        # Exporting is pure observation: no hit/miss accounting.
+        assert (source.hits, source.misses) == counters_before
+
+        target = PropagationCache()
+        target.warm_start(small_graph, payload)
+        assert (target.hits, target.misses) == (0, 0)
+        for hop in (0, 1, 2):
+            np.testing.assert_array_equal(
+                target.propagated(small_graph, hop), source.propagated(small_graph, hop)
+            )
+        # Every post-warm-start read is a pure hit.
+        assert target.misses == 0
+        assert target.hits == 3
+        normalized = target.normalized(small_graph)
+        assert target.misses == 0
+        assert (normalized != source.normalized(small_graph)).nnz == 0
+
+    def test_warm_started_base_serves_incremental_updates(self, small_graph, rng):
+        """A derived delta patches against warm-started chains — no recompute."""
+        source = PropagationCache()
+        source.propagated(small_graph, 2)
+        target = PropagationCache()
+        target.warm_start(small_graph, source.export_base_chains(small_graph))
+
+        derived = _random_delta(small_graph, rng)
+        misses_before = target.misses
+        product = target.propagated(derived, 2)
+        # 2 misses (the derived graph's normalize + propagate), 0 base work.
+        assert target.misses - misses_before == 2
+        assert target.stats()["incremental_updates"] == 1
+        expected = sgc_precompute(derived.adjacency, derived.features, 2)
+        np.testing.assert_allclose(product, expected, rtol=0.0, atol=1e-10)
+
+    def test_export_of_uncached_graph_is_empty_and_warm_start_noop(self, small_graph):
+        cache = PropagationCache()
+        payload = cache.export_base_chains(small_graph)
+        assert payload == {}
+        target = PropagationCache()
+        target.warm_start(small_graph, payload)
+        assert target.stats()["graphs"] == 0
+
+    def test_partial_export_only_ships_resident_artefacts(self, small_graph):
+        cache = PropagationCache()
+        cache.normalized(small_graph)  # operator cached, no hop chain yet
+        payload = cache.export_base_chains(small_graph)
+        assert payload["normalized"] is not None
+        assert payload["hops"] == {}
+        target = PropagationCache()
+        target.warm_start(small_graph, payload)
+        assert target.normalized(small_graph) is payload["normalized"]
+        assert target.misses == 0
 
 
 class TestBufferPool:
