@@ -61,6 +61,7 @@ from repro.api.runner import (
 )
 from repro.api.spec import ExecutionSpec, ExperimentSpec, SweepSpec
 from repro.exceptions import SweepExecutionError
+from repro.graph.blocked import remove_process_scratch, set_blocked_threshold
 from repro.graph.cache import get_default_cache
 from repro.graph.data import GraphData
 from repro.registry import CONDENSERS
@@ -96,6 +97,7 @@ def _cell_worker(
     cell_index: int,
     graph: Optional[GraphData],
     warm_payload: Optional[bytes],
+    blocked_threshold: Optional[int] = None,
 ) -> None:
     """Worker entry point: run one cell, ship its record + cache stats back.
 
@@ -104,8 +106,13 @@ def _cell_worker(
     the parent can distinguish a failing *cell* from a dying *worker*.  The
     shipped stats are the *delta* this worker produced: under ``fork`` the
     child inherits the parent's counter values, which must not be re-counted
-    once per worker in the merge.
+    once per worker in the merge.  ``blocked_threshold`` re-installs the
+    sweep's blocked-propagation override (forked workers inherit it, but
+    ``spawn`` workers start from module defaults); the worker's own blocked
+    scratch directory is removed on the way out regardless of outcome.
     """
+    if blocked_threshold is not None:
+        set_blocked_threshold(blocked_threshold)
     cache = get_default_cache()
     before = cache_counters(cache.stats())
 
@@ -124,6 +131,7 @@ def _cell_worker(
         connection.send(("error", error_info(error), stats_delta()))
     finally:
         connection.close()
+        remove_process_scratch()
 
 
 def _cell_num_hops(spec: ExperimentSpec) -> Optional[int]:
@@ -207,7 +215,13 @@ class _RunningCell:
 
 
 def _stop_process(cell: _RunningCell) -> None:
-    """Terminate a worker, escalating to SIGKILL after a grace period."""
+    """Terminate a worker, escalating to SIGKILL after a grace period.
+
+    A terminated (or SIGKILLed) worker never runs its own scratch cleanup,
+    so the parent removes the worker's blocked-propagation scratch directory
+    once the process is confirmed dead — mmap block files must not outlive
+    a crashed or timed-out cell.
+    """
     if cell.process.is_alive():
         cell.process.terminate()
         cell.process.join(_TERMINATE_GRACE)
@@ -215,6 +229,8 @@ def _stop_process(cell: _RunningCell) -> None:
             cell.process.kill()
             cell.process.join()
     cell.connection.close()
+    if cell.process.pid is not None:
+        remove_process_scratch(cell.process.pid)
 
 
 def run_sweep_process(
@@ -256,7 +272,14 @@ def run_sweep_process(
         parent_end, child_end = context.Pipe(duplex=False)
         process = context.Process(
             target=_cell_worker,
-            args=(child_end, spec, index, graphs.get(key), warm.get(key)),
+            args=(
+                child_end,
+                spec,
+                index,
+                graphs.get(key),
+                warm.get(key),
+                execution.blocked_threshold,
+            ),
             daemon=True,
             name=f"repro-sweep-{sweep.name}-cell-{index}",
         )
@@ -311,6 +334,10 @@ def run_sweep_process(
         except (EOFError, OSError):
             cell.process.join()
             cell.connection.close()
+            if cell.process.pid is not None:
+                # A worker that died without reporting also skipped its own
+                # scratch cleanup; reclaim its blocked block files here.
+                remove_process_scratch(cell.process.pid)
             return RunRecord.from_failure(
                 cell.spec,
                 index,

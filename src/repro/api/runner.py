@@ -524,7 +524,11 @@ def run_sweep(
     failures into structured failed records instead of aborting the sweep.
     In the serial backend cells naming the same dataset (and dataset seed)
     share one loaded graph, and through it the shared
-    :class:`~repro.graph.cache.PropagationCache`.
+    :class:`~repro.graph.cache.PropagationCache`.  When
+    ``execution.blocked_threshold`` is set, the blocked-propagation threshold
+    override is installed for the duration of the sweep (and restored after),
+    covering the serial loop, the process-backend handoff and — via ``fork``
+    inheritance or an explicit worker argument — every worker process.
     """
     if not isinstance(sweep, SweepSpec):
         sweep = SweepSpec.from_dict(sweep)
@@ -534,6 +538,25 @@ def run_sweep(
     specs = sweep.expand()
     order = _validated_order(order, len(specs))
 
+    if execution.blocked_threshold is None:
+        return _run_sweep_cells(sweep, specs, order, execution, on_record)
+    from repro.graph.blocked import set_blocked_threshold
+
+    previous = set_blocked_threshold(execution.blocked_threshold)
+    try:
+        return _run_sweep_cells(sweep, specs, order, execution, on_record)
+    finally:
+        set_blocked_threshold(previous)
+
+
+def _run_sweep_cells(
+    sweep: SweepSpec,
+    specs: List[ExperimentSpec],
+    order: List[int],
+    execution: ExecutionSpec,
+    on_record: Callable[[RunRecord], None] | None,
+) -> SweepRecord:
+    """Dispatch the expanded grid to the selected backend (see run_sweep)."""
     if execution.backend == "process":
         from repro.api.parallel import run_sweep_process
 

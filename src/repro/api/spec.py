@@ -261,12 +261,24 @@ class ExecutionSpec:
         backend.  ``"record"`` turns a failed cell into a structured failed
         :class:`~repro.api.runner.RunRecord` (error type, message,
         traceback, timing) and keeps the sweep running.
+    ``blocked_threshold``
+        Element-count threshold (``num_nodes * num_features``) above which
+        the :class:`~repro.graph.cache.PropagationCache` streams hop chains
+        through the blocked out-of-core engine
+        (:mod:`repro.graph.blocked`) instead of holding dense arrays.
+        ``None`` (default) keeps the process-wide setting (the
+        ``REPRO_BLOCKED_THRESHOLD`` environment variable or the built-in
+        default); ``0`` forces every chain through the blocked engine.
+        Like every execution field it never changes a cell's floats below
+        round-off — the blocked engine is exact per row block — and the
+        sweep remains bit-identical across backends.
     """
 
     backend: str = "serial"
     workers: int = 1
     timeout: float | None = None
     on_error: str = "raise"
+    blocked_threshold: int | None = None
 
     def __post_init__(self) -> None:
         if self.backend not in EXECUTION_BACKENDS:
@@ -301,6 +313,15 @@ class ExecutionSpec:
                 f"execution on_error must be one of {list(ON_ERROR_MODES)}, "
                 f"got {self.on_error!r}"
             )
+        if self.blocked_threshold is not None and (
+            not isinstance(self.blocked_threshold, int)
+            or isinstance(self.blocked_threshold, bool)
+            or self.blocked_threshold < 0
+        ):
+            raise ConfigurationError(
+                f"execution blocked_threshold must be a non-negative integer "
+                f"or null, got {self.blocked_threshold!r}"
+            )
 
     @classmethod
     def coerce(cls, value: Any) -> "ExecutionSpec":
@@ -314,17 +335,24 @@ class ExecutionSpec:
         if value is None:
             return cls()
         if isinstance(value, Mapping):
-            unknown = set(value) - {"backend", "workers", "timeout", "on_error"}
+            unknown = set(value) - {
+                "backend",
+                "workers",
+                "timeout",
+                "on_error",
+                "blocked_threshold",
+            }
             if unknown:
                 raise ConfigurationError(
                     f"unknown execution keys {sorted(unknown)}; expected "
-                    "'backend'/'workers'/'timeout'/'on_error'"
+                    "'backend'/'workers'/'timeout'/'on_error'/'blocked_threshold'"
                 )
             return cls(
                 backend=value.get("backend", "serial"),
                 workers=value.get("workers", 1),
                 timeout=value.get("timeout"),
                 on_error=value.get("on_error", "raise"),
+                blocked_threshold=value.get("blocked_threshold"),
             )
         raise ConfigurationError(
             f"cannot interpret {value!r} as an execution spec (need None or mapping)"
@@ -337,6 +365,7 @@ class ExecutionSpec:
             "workers": self.workers,
             "timeout": self.timeout,
             "on_error": self.on_error,
+            "blocked_threshold": self.blocked_threshold,
         }
 
 

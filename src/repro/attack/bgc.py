@@ -126,6 +126,8 @@ class BGC:
         self.config = config or BGCConfig()
         #: Warm-start surrogate lineage (weight + Adam moments); reset per run.
         self._surrogate_state: dict | None = None
+        #: Per-run memo of constant trigger scaffolds (see _update_generator).
+        self._scaffold_cache: dict = {}
 
     # -------------------------------------------------------------- #
     # Public entry point
@@ -164,6 +166,11 @@ class BGC:
         generator_optimizer = Adam(generator.parameters(), lr=config.trigger.learning_rate)
         encoder_inputs = generator.encode_inputs(working.adjacency, working.features)
         self._surrogate_state = None  # fresh warm-start lineage per run
+        # Constant per-node trigger scaffolds (local sets, host adjacency
+        # blocks, host feature rows) are shared across every generator step
+        # and attack epoch of this run — `working` and max_neighbors are
+        # fixed — so their sparse gathers are paid once per node per run.
+        self._scaffold_cache = {}
 
         history: List[Dict[str, float]] = []
         for epoch in range(config.epochs):
@@ -349,6 +356,7 @@ class BGC:
                 target_class=config.target_class,
                 max_neighbors=config.max_neighbors,
                 num_hops=config.surrogate_hops,
+                scaffold_cache=self._scaffold_cache,
             )
             loss.backward()
             optimizer.step()

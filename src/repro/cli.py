@@ -166,6 +166,12 @@ def run_datasets_command() -> int:
             {
                 "dataset": row["name"],
                 "nodes": int(row["nodes"]),
+                # The published size of the real graph this stand-in emulates
+                # ("-" for the graphs generated at full size); `nodes` is
+                # always the size actually generated.
+                "reference": (
+                    int(row["reference_nodes"]) if "reference_nodes" in row else "-"
+                ),
                 "edges": int(row["edges"]),
                 "classes": int(row["classes"]),
                 "features": int(row["features"]),
@@ -173,7 +179,7 @@ def run_datasets_command() -> int:
                 "homophily": round(float(row["homophily"]), 3),
             }
         )
-    print(format_table(rows))
+    print(format_table(_align_rows(rows)))
     return 0
 
 

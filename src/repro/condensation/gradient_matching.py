@@ -94,6 +94,12 @@ def all_class_model_gradients(
     index = np.asarray(index, dtype=np.int64)
     if index.size == 0:
         return {}
+    from repro.graph.blocked import BlockedArray
+
+    if isinstance(propagated, BlockedArray):
+        return _blocked_all_class_model_gradients(
+            propagated, labels, weight, index, num_classes
+        )
     h = propagated[index]
     logits = h @ weight
     logits -= logits.max(axis=1, keepdims=True)
@@ -118,6 +124,50 @@ def all_class_model_gradients(
         gradients[cls] = (
             h_sorted[start:stop].T @ residual_sorted[start:stop] / (stop - start)
         )
+    return gradients
+
+
+def _blocked_all_class_model_gradients(
+    propagated,
+    labels: np.ndarray,
+    weight: np.ndarray,
+    index: np.ndarray,
+    num_classes: int,
+) -> Dict[int, np.ndarray]:
+    """:func:`all_class_model_gradients` over a blocked hop product.
+
+    Never gathers the full ``(len(index), d)`` row matrix: the logits pass
+    streams one row block at a time, and each per-class gradient gathers only
+    that class's rows (bounded by the largest class, not the training set).
+    When the product holds a single block the arithmetic — gather, GEMM
+    shapes, division — is identical to the dense routine, so results are
+    bit-identical there; multi-block runs agree to round-off.
+    """
+    logits = np.empty((index.size, weight.shape[1]), dtype=np.float64)
+    for start, _, block in propagated.blocks():
+        mask = (index >= start) & (index < start + block.shape[0])
+        if not mask.any():
+            continue
+        logits[mask] = block[index[mask] - start] @ weight
+    logits -= logits.max(axis=1, keepdims=True)
+    np.exp(logits, out=logits)
+    residual = logits
+    residual /= residual.sum(axis=1, keepdims=True)
+    index_labels = labels[index]
+    residual[np.arange(index.size), index_labels] -= 1.0
+
+    order = np.argsort(index_labels, kind="stable")
+    sorted_labels = index_labels[order]
+    sorted_index = index[order]
+    residual_sorted = residual[order]
+    boundaries = np.searchsorted(sorted_labels, np.arange(num_classes + 1))
+    gradients: Dict[int, np.ndarray] = {}
+    for cls in range(num_classes):
+        start, stop = boundaries[cls], boundaries[cls + 1]
+        if start == stop:
+            continue
+        class_rows = propagated.gather(sorted_index[start:stop])
+        gradients[cls] = class_rows.T @ residual_sorted[start:stop] / (stop - start)
     return gradients
 
 

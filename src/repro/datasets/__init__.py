@@ -5,15 +5,23 @@ The original evaluation uses Cora, Citeseer (transductive) and Flickr, Reddit
 package generates deterministic, statistically similar synthetic graphs (see
 ``DESIGN.md`` for the substitution rationale).  Each loader mirrors the real
 dataset's class count, feature dimensionality, split protocol and homophily;
-the two large graphs are scaled down to stay CPU-tractable.
+the two large inductive graphs generate at six-figure node counts and stream
+their hop chains through the blocked engine (:mod:`repro.graph.blocked`).
 """
 
-from repro.datasets.base import DatasetSpec, load_dataset, list_datasets, register_dataset
+from repro.datasets.base import (
+    DatasetSpec,
+    clear_dataset_cache,
+    load_dataset,
+    list_datasets,
+    register_dataset,
+)
 from repro.datasets.statistics import dataset_statistics, statistics_table
 from repro.datasets import planetoid, social, tiny
 
 __all__ = [
     "DatasetSpec",
+    "clear_dataset_cache",
     "load_dataset",
     "list_datasets",
     "register_dataset",

@@ -9,13 +9,16 @@ helpers here keep the historical function API (:func:`load_dataset`,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Tuple
 
 from repro.exceptions import DatasetError, ReproError
 from repro.graph.data import GraphData
 from repro.registry import DATASETS
 
 LoaderFn = Callable[["DatasetSpec", int], GraphData]
+
+#: Memoised ``load_dataset`` results keyed by (lowercase name, seed).
+_DATASET_CACHE: Dict[Tuple[str, int], GraphData] = {}
 
 
 @dataclass(frozen=True)
@@ -43,12 +46,23 @@ class DatasetSpec:
 
 
 def register_dataset(spec: DatasetSpec, loader: LoaderFn) -> None:
-    """Register a dataset loader under ``spec.name`` (case-insensitive)."""
+    """Register a dataset loader under ``spec.name`` (case-insensitive).
+
+    The registry factory shares the :func:`load_dataset` memo, so building a
+    dataset through :data:`~repro.registry.DATASETS` and through
+    :func:`load_dataset` pays generation once per ``(name, seed)`` either
+    way — regenerating a six-figure inductive graph per caller is the cost
+    this avoids.
+    """
     if spec.name.lower() in DATASETS:
         raise DatasetError(f"dataset {spec.name!r} is already registered")
 
     def build(seed: int = 0, _spec: DatasetSpec = spec, _loader: LoaderFn = loader) -> GraphData:
-        return _loader(_spec, seed)
+        key = (_spec.name.lower(), int(seed))
+        cached = _DATASET_CACHE.get(key)
+        if cached is None:
+            cached = _DATASET_CACHE[key] = _loader(_spec, seed)
+        return cached
 
     DATASETS.register(
         spec.name, factory=build, metadata={"spec": spec, "loader": loader}
@@ -71,6 +85,14 @@ def get_spec(name: str) -> DatasetSpec:
 def load_dataset(name: str, seed: int = 0) -> GraphData:
     """Generate the synthetic dataset registered under ``name``.
 
+    Results are memoised per ``(name, seed)``: generation is deterministic,
+    so repeated loads return the *same* :class:`~repro.graph.data.GraphData`
+    object — at the six-figure Flickr/Reddit scale regenerating (and
+    re-holding) a graph per caller would dominate both time and memory.
+    Callers must treat the returned graph as read-only (they already do:
+    sweeps share one loaded graph across cells, and attacks operate on
+    views).  :func:`clear_dataset_cache` drops the memo.
+
     Parameters
     ----------
     name:
@@ -79,9 +101,32 @@ def load_dataset(name: str, seed: int = 0) -> GraphData:
         Seed controlling graph topology, features and splits.  The same seed
         always yields exactly the same graph.
     """
+    key = (name.lower(), int(seed))
+    cached = _DATASET_CACHE.get(key)
+    if cached is not None:
+        return cached
     try:
-        return DATASETS.build(name, seed=seed)
+        graph = DATASETS.build(name, seed=seed)
     except ReproError as error:
         if name.lower() in DATASETS:
             raise
         raise DatasetError(str(error)) from None
+    _DATASET_CACHE[key] = graph
+    return graph
+
+
+def clear_dataset_cache(name: str | None = None) -> None:
+    """Drop memoised :func:`load_dataset` results (all, or one dataset's).
+
+    Tests that re-register or monkeypatch dataset loaders (or that need two
+    independently generated copies of the same graph) call this to force
+    regeneration; normal runs never need it.  Passing ``name`` drops only
+    that dataset's entries — useful when evicting everything would force an
+    expensive six-figure graph to regenerate in unrelated later tests.
+    """
+    if name is None:
+        _DATASET_CACHE.clear()
+        return
+    lowered = name.lower()
+    for key in [key for key in _DATASET_CACHE if key[0] == lowered]:
+        del _DATASET_CACHE[key]

@@ -11,10 +11,21 @@ from repro.graph.data import GraphData
 
 
 def dataset_statistics(graph: GraphData) -> Dict[str, float]:
-    """Return the Table-I statistics plus homophily for a loaded graph."""
+    """Return the Table-I statistics plus homophily for a loaded graph.
+
+    ``num_nodes`` is always the size of the graph actually generated;
+    ``reference_nodes`` (present when the loader recorded it in the graph
+    metadata) is the published size of the real dataset being emulated.
+    Keeping both side by side is what distinguishes a stand-in from its
+    reference — earlier revisions reported only one of the two, inviting the
+    numbers to be conflated.
+    """
     stats = graph.summary()
     stats["avg_degree"] = float(graph.degrees().mean()) if graph.num_nodes else 0.0
     stats["homophily"] = edge_homophily(graph)
+    reference = graph.metadata.get("reference_nodes")
+    if reference is not None:
+        stats["reference_nodes"] = int(reference)
     return stats
 
 

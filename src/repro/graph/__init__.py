@@ -25,6 +25,13 @@ from repro.graph.propagation import (
     chebyshev_polynomials,
 )
 from repro.graph.cache import PropagationCache, get_default_cache, set_default_cache
+from repro.graph.blocked import (
+    BlockedArray,
+    blocked_precompute_hops,
+    blocked_spmm,
+    blocked_threshold,
+    set_blocked_threshold,
+)
 from repro.graph.subgraph import (
     k_hop_subgraph,
     induced_subgraph,
@@ -50,6 +57,11 @@ __all__ = [
     "PropagationCache",
     "get_default_cache",
     "set_default_cache",
+    "BlockedArray",
+    "blocked_precompute_hops",
+    "blocked_spmm",
+    "blocked_threshold",
+    "set_blocked_threshold",
     "gcn_normalize",
     "incremental_gcn_normalize",
     "self_loop_degrees",

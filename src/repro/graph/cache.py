@@ -54,6 +54,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from repro.graph.blocked import BlockedArray, blocked_precompute_hops, blocked_threshold
 from repro.graph.data import GraphData
 from repro.graph.normalize import (
     gcn_normalize,
@@ -380,7 +381,7 @@ class PropagationCache:
                 "hops": {
                     hop: product
                     for hop, product in entry.hops.items()
-                    if isinstance(product, np.ndarray)
+                    if isinstance(product, (np.ndarray, BlockedArray))
                 }
             }
             if entry.normalized is not None:
@@ -418,7 +419,13 @@ class PropagationCache:
                 entry.degrees = payload.get("degrees")
                 entry.nonnegative = bool(payload.get("nonnegative", False))
             for hop, product in dict(payload.get("hops") or {}).items():
-                entry.hops[int(hop)] = np.asarray(product)
+                if isinstance(product, BlockedArray):
+                    # Blocked chains hand off by reference: the worker maps
+                    # the exporter's block files read-only (fork shares the
+                    # object, spawn re-opens by path) and never deletes them.
+                    entry.hops[int(hop)] = product
+                else:
+                    entry.hops[int(hop)] = np.asarray(product)
 
     def invalidate(self, graph=None) -> None:
         """Drop every cached artefact (entries, raw memo, recycled buffers).
@@ -576,7 +583,13 @@ class PropagationCache:
         features = graph.features
         if hasattr(features, "materialize"):
             features = features.materialize()
-        chain = sgc_precompute_hops(self.normalized(graph), features, num_hops)
+        if num_hops >= 1 and graph.num_nodes * graph.num_features > blocked_threshold():
+            # Above the size threshold every propagated hop lives in a
+            # memory-mapped BlockedArray (bit-identical values, bounded RSS);
+            # hop 0 stays the shared dense feature matrix either way.
+            chain = blocked_precompute_hops(self.normalized(graph), features, num_hops)
+        else:
+            chain = sgc_precompute_hops(self.normalized(graph), features, num_hops)
         for k, product in enumerate(chain):
             entry.hops[k] = product
         return chain

@@ -137,6 +137,14 @@ def class_correlated_features(
     activation probability is boosted by ``signal_strength``; all other
     columns fire with base probability ``density``.  Rows are L1-normalised,
     matching the Planetoid preprocessing convention.
+
+    The base activations are sampled in row chunks and normalised in place,
+    so the only full-size allocation is the returned ``(N, F)`` matrix — at
+    the six-figure node counts of the Flickr/Reddit stand-ins the transient
+    uniform draw and the normalised copy would otherwise triple the peak.
+    Chunking does not change the values: ``Generator.random`` fills row-major
+    arrays from the bit stream sequentially, so chunked row draws consume
+    exactly the same stream as one full-size draw.
     """
     _check_probability(density, "density")
     labels = np.asarray(labels, dtype=np.int64)
@@ -147,7 +155,11 @@ def class_correlated_features(
             f"{num_classes} classes x {signal_words_per_class} signal words exceed "
             f"{num_features} feature columns"
         )
-    base = (rng.random((num_nodes, num_features)) < density).astype(np.float64)
+    chunk = 32768
+    base = np.empty((num_nodes, num_features), dtype=np.float64)
+    for start in range(0, num_nodes, chunk):
+        stop = min(start + chunk, num_nodes)
+        base[start:stop] = rng.random((stop - start, num_features)) < density
     for cls in range(num_classes):
         members = np.flatnonzero(labels == cls)
         start = cls * signal_words_per_class
@@ -160,7 +172,8 @@ def class_correlated_features(
         )
     row_sums = base.sum(axis=1, keepdims=True)
     row_sums[row_sums == 0] = 1.0
-    return base / row_sums
+    base /= row_sums
+    return base
 
 
 def _check_probability(value: float, name: str) -> None:

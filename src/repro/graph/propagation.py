@@ -95,6 +95,32 @@ def reachable_rows(
     return mask | (reached > 0.0)
 
 
+def _matmul_hop_product(matrix: sp.spmatrix, product) -> np.ndarray:
+    """``matrix @ product`` where ``product`` may be a blocked hop array.
+
+    Dense products go straight through scipy.  For a
+    :class:`~repro.graph.blocked.BlockedArray` the product is accumulated one
+    row block at a time (``matrix[:, start:stop] @ block``), so no full
+    ``(N, F)`` materialisation happens.  The single-block case multiplies the
+    whole (identically-sliced) matrix against the one block and is therefore
+    bit-identical to the dense product; multi-block accumulation changes only
+    the summation order (differences bounded well below the 1e-10 equivalence
+    tolerance).
+    """
+    from repro.graph.blocked import BlockedArray
+
+    if not isinstance(product, BlockedArray):
+        return matrix @ product
+    matrix = matrix.tocsc()
+    out: Optional[np.ndarray] = None
+    for start, stop, block in product.blocks():
+        term = matrix[:, start:stop] @ np.asarray(block)
+        out = term if out is None else out + term
+    if out is None:  # zero-row product
+        out = np.zeros((matrix.shape[0], product.shape[1]), dtype=np.float64)
+    return out
+
+
 def incremental_sgc_delta(
     normalized: sp.spmatrix,
     features,
@@ -180,7 +206,7 @@ def incremental_sgc_delta(
         rows = np.flatnonzero(dirty)
         sliced = normalized[rows]
         # Â'[D_k, :N] · H_{k-1}  +  Â'[D_k, D_{k-1}] · E_{k-1}
-        values = sliced[:, :n_base] @ base_hops[hop - 1]
+        values = _matmul_hop_product(sliced[:, :n_base], base_hops[hop - 1])
         if previous_rows.size:
             values += sliced[:, previous_rows] @ previous_delta
         if hop < num_hops:

@@ -1,0 +1,66 @@
+"""Peak-RSS measurement for the blocked-propagation benchmarks.
+
+Linux tracks a process's resident-set high-water mark (``VmHWM``) in
+``/proc/self/status`` and lets the process reset it by writing ``5`` to
+``/proc/self/clear_refs``.  That pair gives an exact, allocation-free way to
+measure the peak working set of a code region::
+
+    reset_ok = reset_peak_rss()
+    ...  # region under test
+    peak = peak_rss_bytes()
+
+On platforms without these files both helpers degrade gracefully (reset
+returns ``False``, the query returns ``None``) and callers skip the ceiling
+assertion rather than fail spuriously.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["peak_rss_bytes", "current_rss_bytes", "reset_peak_rss"]
+
+_STATUS_PATH = "/proc/self/status"
+_CLEAR_REFS_PATH = "/proc/self/clear_refs"
+
+
+def _read_status_kib(field: str) -> Optional[int]:
+    try:
+        with open(_STATUS_PATH, "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith(field + ":"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """Peak resident-set size (``VmHWM``) in bytes, or ``None`` if unknown.
+
+    Reflects the high-water mark since process start or the most recent
+    successful :func:`reset_peak_rss`.
+    """
+    kib = _read_status_kib("VmHWM")
+    return kib * 1024 if kib is not None else None
+
+
+def current_rss_bytes() -> Optional[int]:
+    """Current resident-set size (``VmRSS``) in bytes, or ``None``."""
+    kib = _read_status_kib("VmRSS")
+    return kib * 1024 if kib is not None else None
+
+
+def reset_peak_rss() -> bool:
+    """Reset the peak-RSS counter to the current RSS; ``True`` on success.
+
+    Writing ``5`` to ``/proc/self/clear_refs`` asks the kernel to reset the
+    ``VmHWM`` water mark.  Returns ``False`` (and changes nothing) on
+    platforms or kernels that do not support it.
+    """
+    try:
+        with open(_CLEAR_REFS_PATH, "w", encoding="ascii") as handle:
+            handle.write("5")
+    except OSError:
+        return False
+    return True

@@ -18,6 +18,10 @@ at ``atol=1e-10``:
 
 from __future__ import annotations
 
+import gc
+import os
+import pickle
+
 import numpy as np
 import pytest
 import scipy.sparse as sp
@@ -30,6 +34,14 @@ from repro.attack.trigger import (
     local_trigger_loss,
 )
 from repro.autograd import Tensor
+from repro.condensation.gradient_matching import all_class_model_gradients
+from repro.exceptions import GraphValidationError
+from repro.graph.blocked import (
+    BlockedArray,
+    blocked_precompute_hops,
+    blocked_spmm,
+    set_blocked_threshold,
+)
 from repro.graph.cache import PropagationCache
 from repro.graph.data import GraphData
 from repro.graph.generators import stochastic_block_model
@@ -38,7 +50,9 @@ from repro.graph.normalize import (
     incremental_gcn_normalize,
     self_loop_degrees,
 )
+from repro.graph.propagation import sgc_precompute, sgc_precompute_hops
 from repro.graph.subgraph import attach_trigger_subgraph, attach_trigger_subgraph_coo
+from repro.graph.view import PropagatedView
 from repro.utils.seed import new_rng
 
 ATOL = 1e-10
@@ -497,3 +511,265 @@ class TestGraphViewEquivalence:
         np.testing.assert_array_equal(
             with_view.poisoned_nodes, without_view.poisoned_nodes
         )
+
+
+# --------------------------------------------------------------------- #
+# Blocked (out-of-core) propagation vs the dense reference
+# --------------------------------------------------------------------- #
+@pytest.fixture
+def force_blocked():
+    """Route every hop chain through the blocked engine for one test."""
+    previous = set_blocked_threshold(0)
+    yield
+    set_blocked_threshold(previous)
+
+
+def _poison_with_delta(graph, seed: int, num_targets: int = 3, trigger_size: int = 2):
+    """A poisoned derived graph (GraphDelta) plus its raw (adj, feat) pair."""
+    rng = new_rng(seed)
+    targets = np.sort(rng.choice(graph.num_nodes, size=num_targets, replace=False))
+    trigger_features = rng.normal(size=(num_targets, trigger_size, graph.num_features))
+    trigger_adjacency = (
+        rng.random((num_targets, trigger_size, trigger_size)) < 0.5
+    ).astype(np.float64)
+    new_adj, new_feat, _ = attach_trigger_subgraph(
+        graph.adjacency, graph.features, targets, trigger_features, trigger_adjacency
+    )
+    labels = np.concatenate(
+        [graph.labels, np.zeros(new_adj.shape[0] - graph.num_nodes, dtype=np.int64)]
+    )
+    poisoned = graph.with_delta(
+        targets, adjacency=new_adj, features=new_feat, labels=labels
+    )
+    return poisoned, new_adj, new_feat
+
+
+class TestBlockedPropagationEquivalence:
+    @pytest.mark.parametrize("row_block,col_block", [(7, 3), (16, 256), (1024, 2)])
+    def test_blocked_spmm_matches_dense_at_any_tiling(self, row_block, col_block):
+        rng = new_rng(51)
+        adjacency = stochastic_block_model(
+            np.array([20, 20, 20]), p_in=0.3, p_out=0.05, rng=rng
+        )
+        normalized = gcn_normalize(adjacency)
+        features = rng.normal(size=(60, 11))
+        dense = normalized @ features
+        blocked = blocked_spmm(
+            normalized, features, row_block=row_block, col_block=col_block
+        )
+        assert isinstance(blocked, BlockedArray)
+        np.testing.assert_allclose(blocked.materialize(), dense, rtol=0.0, atol=ATOL)
+        if row_block >= 60:
+            # Single row block: identical summation order => bit-identical.
+            np.testing.assert_array_equal(blocked.materialize(), dense)
+
+    def test_single_block_chain_is_bit_identical(self, small_graph):
+        normalized = gcn_normalize(small_graph.adjacency)
+        dense = sgc_precompute_hops(normalized, small_graph.features, 3)
+        blocked = blocked_precompute_hops(
+            normalized, small_graph.features, 3, row_block=small_graph.num_nodes
+        )
+        assert blocked[0] is not None and not isinstance(blocked[0], BlockedArray)
+        for dense_hop, blocked_hop in zip(dense[1:], blocked[1:]):
+            assert isinstance(blocked_hop, BlockedArray)
+            np.testing.assert_array_equal(blocked_hop.materialize(), dense_hop)
+
+    def test_multi_block_chain_matches_to_tolerance(self, small_graph):
+        normalized = gcn_normalize(small_graph.adjacency)
+        dense = sgc_precompute_hops(normalized, small_graph.features, 3)
+        blocked = blocked_precompute_hops(
+            normalized, small_graph.features, 3, row_block=13, col_block=5
+        )
+        for dense_hop, blocked_hop in zip(dense[1:], blocked[1:]):
+            np.testing.assert_allclose(
+                blocked_hop.materialize(), dense_hop, rtol=0.0, atol=ATOL
+            )
+
+    def test_cache_routes_above_threshold_and_stays_exact(
+        self, small_graph, force_blocked
+    ):
+        cache = PropagationCache()
+        product = cache.propagated(small_graph, 2)
+        assert isinstance(product, BlockedArray)
+        reference = sgc_precompute(
+            small_graph.adjacency, small_graph.features, 2
+        )
+        # Default row tile (8192) >= 90 nodes: one block, bit-identical.
+        np.testing.assert_array_equal(product.materialize(), reference)
+        assert cache.propagated(small_graph, 2) is product  # plain cache hit
+
+    def test_dense_path_still_used_below_threshold(self, small_graph):
+        previous = set_blocked_threshold(10**9)
+        try:
+            cache = PropagationCache()
+            product = cache.propagated(small_graph, 2)
+            assert isinstance(product, np.ndarray)
+        finally:
+            set_blocked_threshold(previous)
+
+    def test_incremental_delta_patches_against_blocked_base(
+        self, small_graph, force_blocked
+    ):
+        cache = PropagationCache()
+        cache.propagated(small_graph, 2)  # resident blocked base chain
+        poisoned, new_adj, new_feat = _poison_with_delta(small_graph, seed=61)
+        result = cache.propagated(poisoned, 2)
+        assert cache.stats()["incremental_updates"] == 1
+        np.testing.assert_allclose(
+            np.asarray(result), sgc_precompute(new_adj, new_feat, 2), rtol=0.0, atol=ATOL
+        )
+
+    def test_propagated_view_difference_form_over_blocked_base(
+        self, small_graph, force_blocked
+    ):
+        cache = PropagationCache()
+        cache.propagated(small_graph, 2)
+        poisoned, new_adj, new_feat = _poison_with_delta(small_graph, seed=62)
+        view = cache.propagated_view(poisoned, 2)
+        assert isinstance(view, PropagatedView)
+        assert isinstance(view.base_product, BlockedArray)
+        reference = sgc_precompute(new_adj, new_feat, 2)
+        rows = np.arange(poisoned.num_nodes)
+        np.testing.assert_allclose(view.gather(rows), reference, rtol=0.0, atol=ATOL)
+
+    @pytest.mark.parametrize("block_size", [90, 13])
+    def test_blocked_class_gradients_match_dense(self, small_graph, block_size):
+        normalized = gcn_normalize(small_graph.adjacency)
+        blocked = blocked_spmm(
+            normalized, small_graph.features, row_block=block_size
+        )
+        dense = np.asarray(normalized @ small_graph.features)
+        rng = new_rng(63)
+        weight = rng.normal(size=(small_graph.num_features, small_graph.num_classes))
+        index = small_graph.split.train
+        dense_grads = all_class_model_gradients(
+            dense, small_graph.labels, weight, index, small_graph.num_classes
+        )
+        blocked_grads = all_class_model_gradients(
+            blocked, small_graph.labels, weight, index, small_graph.num_classes
+        )
+        assert set(dense_grads) == set(blocked_grads)
+        for cls, gradient in dense_grads.items():
+            if block_size >= small_graph.num_nodes:
+                np.testing.assert_array_equal(blocked_grads[cls], gradient)
+            else:
+                np.testing.assert_allclose(
+                    blocked_grads[cls], gradient, rtol=0.0, atol=ATOL
+                )
+
+    def test_threshold_override_validation(self):
+        with pytest.raises(GraphValidationError):
+            set_blocked_threshold(-1)
+        with pytest.raises(GraphValidationError):
+            set_blocked_threshold(True)
+        previous = set_blocked_threshold(123)
+        try:
+            assert set_blocked_threshold(previous) == 123
+        finally:
+            set_blocked_threshold(previous)
+
+
+class TestBlockedStoreProperties:
+    def test_write_rows_spanning_block_boundaries(self):
+        rng = new_rng(71)
+        mirror = np.zeros((50, 4))
+        store = BlockedArray((50, 4), block_size=8)
+        # Writes chosen to start mid-block and cross one or more boundaries.
+        for start, count in [(0, 3), (5, 10), (14, 20), (47, 3), (20, 0)]:
+            values = rng.normal(size=(count, 4))
+            store.write_rows(start, values)
+            mirror[start : start + count] = values
+        np.testing.assert_array_equal(store.materialize(), mirror)
+        with pytest.raises(GraphValidationError):
+            store.write_rows(48, np.zeros((3, 4)))  # past the last row
+        with pytest.raises(GraphValidationError):
+            store.write_rows(0, np.zeros((2, 5)))  # wrong width
+
+    def test_gather_and_getitem_mirror_ndarray_semantics(self):
+        rng = new_rng(72)
+        dense = rng.normal(size=(30, 6))
+        store = BlockedArray((30, 6), block_size=7)
+        store.write_rows(0, dense)
+        rows = np.array([29, 0, 13, 13, 6])  # unsorted, duplicated, cross-block
+        np.testing.assert_array_equal(store.gather(rows), dense[rows])
+        mask = dense[:, 0] > 0.0
+        np.testing.assert_array_equal(store.gather(mask), dense[mask])
+        np.testing.assert_array_equal(store[rows, 1:4], dense[rows, 1:4])
+        np.testing.assert_array_equal(store[5:20:3], dense[5:20:3])
+        np.testing.assert_array_equal(store[np.array([-1, -30])], dense[[-1, -30]])
+        np.testing.assert_array_equal(store[4], dense[4])
+        np.testing.assert_array_equal(np.asarray(store), dense)
+        with pytest.raises(IndexError):
+            store.gather(np.array([30]))
+
+    def test_std_matches_numpy(self):
+        rng = new_rng(73)
+        dense = rng.normal(size=(40, 3))
+        single = BlockedArray((40, 3), block_size=64)
+        single.write_rows(0, dense)
+        assert single.std() == np.std(dense)  # single block: bit-identical
+        multi = BlockedArray((40, 3), block_size=9)
+        multi.write_rows(0, dense)
+        assert abs(multi.std() - np.std(dense)) <= ATOL
+
+    def test_pickle_round_trip_never_deletes_the_owners_files(self):
+        rng = new_rng(74)
+        dense = rng.normal(size=(20, 5))
+        store = BlockedArray((20, 5), block_size=6)
+        store.write_rows(0, dense)
+        copy = pickle.loads(pickle.dumps(store))
+        np.testing.assert_array_equal(copy.materialize(), dense)
+        directory = store.directory
+        del copy
+        gc.collect()
+        # The unpickled replica is not the owner: the files must survive it.
+        assert os.path.isdir(directory)
+        np.testing.assert_array_equal(store.materialize(), dense)
+
+    def test_warm_start_round_trip_with_blocked_chains(
+        self, small_graph, force_blocked
+    ):
+        exporter = PropagationCache()
+        reference = exporter.propagated(small_graph, 2).materialize()
+        payload = pickle.loads(pickle.dumps(exporter.export_base_chains(small_graph)))
+        assert any(isinstance(hop, BlockedArray) for hop in payload["hops"].values())
+        receiver = PropagationCache()
+        receiver.warm_start(small_graph, payload)
+        served = receiver.propagated(small_graph, 2)
+        assert receiver.stats()["hits"] == 1 and receiver.stats()["misses"] == 0
+        np.testing.assert_array_equal(np.asarray(served), reference)
+
+    def test_block_files_cleaned_up_on_cache_eviction(self, force_blocked):
+        from repro.graph.splits import SplitIndices
+
+        cache = PropagationCache(max_graphs=2, max_shards=1)
+        empty = np.zeros(0, dtype=np.int64)
+        graphs = [
+            GraphData(
+                adjacency=stochastic_block_model(
+                    np.array([10, 10]), p_in=0.4, p_out=0.1, rng=new_rng(80 + i)
+                ),
+                features=new_rng(90 + i).normal(size=(20, 4)),
+                labels=np.zeros(20, dtype=np.int64),
+                split=SplitIndices(train=np.arange(20), val=empty, test=empty),
+            )
+            for i in range(2)
+        ]
+        directory = cache.propagated(graphs[0], 1).directory
+        assert os.path.isdir(directory)
+        # A second root graph opens a new shard; max_shards=1 evicts the
+        # first shard whole, retiring its entry and dropping the last
+        # reference to the blocked product.
+        cache.propagated(graphs[1], 1)
+        gc.collect()
+        assert not os.path.exists(directory)
+
+    def test_scratch_dir_honours_configured_cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BLOCKED_DIR", str(tmp_path / "blocked-cache"))
+        store = BlockedArray((10, 3), block_size=4)
+        assert store.directory.startswith(str(tmp_path / "blocked-cache"))
+        assert os.path.isdir(store.directory)
+        directory = store.directory
+        del store
+        gc.collect()
+        assert not os.path.exists(directory)
