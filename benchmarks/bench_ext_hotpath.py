@@ -104,6 +104,7 @@ or via pytest: ``pytest benchmarks/bench_ext_hotpath.py -s``.
 
 from __future__ import annotations
 
+import math
 import os
 import time
 from statistics import median
@@ -173,6 +174,11 @@ BLOCKED_RSS_FRACTION = 0.6
 #: every call.  The win is real but modest at Cora scale, so the assertion
 #: only guards against the cache being a pessimisation.
 SCAFFOLD_SPEEDUP_FLOOR = 1.0
+#: Ceiling on one sampled PRBCD step's additional peak RSS at flickr scale.
+#: The dense candidate space is ~5e9 pairs (~37 GiB of scores alone) and a
+#: single (N, F) chain materialisation is ~191 MiB on the training view;
+#: 320 MiB proves the step touches neither.
+SAMPLED_RSS_CEILING_MB = 320.0
 
 
 def _build_graph(smoke: bool) -> GraphData:
@@ -867,7 +873,82 @@ def run_hotpath(smoke: bool = SMOKE, timed_epochs: int = TIMED_EPOCHS) -> Dict[s
     )
     results.update(run_sweep_throughput(smoke=smoke))
     results.update(run_blocked_propagation(smoke=smoke))
+    results.update(run_sampled_attack_step(smoke=smoke))
     return results
+
+
+def run_sampled_attack_step(smoke: bool = SMOKE) -> Dict[str, object]:
+    """One PRBCD-style sampled edge-attack step: latency, peak RSS, reference.
+
+    Smoke mode runs on the SBM smoke graph (where the full pair space is
+    enumerable) and additionally checks the covering-block == exhaustive
+    contract; full mode times the step on the flickr training view — ~1.2e9
+    candidate pairs — and measures the step's *additional* peak RSS, which
+    must be bounded by the sampled block, never the candidate space or an
+    ``(N, F)`` chain materialisation.
+    """
+    from repro.attack.sampled import (
+        SampledEdgeAttack,
+        SampledEdgeConfig,
+        num_candidate_pairs,
+    )
+    from repro.utils.memory import current_rss_bytes, peak_rss_bytes, reset_peak_rss
+
+    if smoke:
+        working = _build_graph(True)
+        block_size = 256
+    else:
+        working = load_dataset("flickr", seed=0).training_view()
+        block_size = 2048
+    config = SampledEdgeConfig(block_size=block_size, surrogate_steps=1)
+    attack = SampledEdgeAttack(config)
+    cache = PropagationCache()
+    cache.propagated(working, config.surrogate_hops)
+    cache.propagated(working, config.surrogate_hops - 1)
+    weight = new_rng(2).normal(
+        scale=0.1, size=(working.num_features, working.num_classes)
+    )
+    labels = working.labels
+    train = working.split.train
+
+    def one_step(seed: int, attacker=attack):
+        return attacker.propose_flips(
+            working, labels, train, weight, new_rng(seed), quota=8, cache=cache
+        )
+
+    one_step(0)  # warm allocator + chain handles before measuring
+    reset_ok = reset_peak_rss()
+    baseline = current_rss_bytes()
+    start = time.perf_counter()
+    chosen = one_step(9)
+    step_s = time.perf_counter() - start
+    peak = peak_rss_bytes()
+    delta_mb = (
+        (peak - baseline) / 2**20
+        if reset_ok and peak is not None and baseline is not None
+        else float("nan")
+    )
+
+    total = num_candidate_pairs(working.num_nodes)
+    reference_match = True
+    if total <= 2**20:  # the dense reference is only enumerable at smoke scale
+        covering = SampledEdgeAttack(
+            SampledEdgeConfig(block_size=total, surrogate_steps=1)
+        )
+        exhaustive = SampledEdgeAttack(
+            SampledEdgeConfig(exhaustive=True, surrogate_steps=1)
+        )
+        reference_match = one_step(3, covering) == one_step(3, exhaustive)
+    return {
+        "sampled_graph": working.name,
+        "sampled_nodes": working.num_nodes,
+        "sampled_candidate_pairs": total,
+        "sampled_block": block_size,
+        "sampled_step_ms": step_s * 1e3,
+        "sampled_flips": len(chosen),
+        "sampled_peak_delta_mb": delta_mb,
+        "sampled_reference_match": reference_match,
+    }
 
 
 def _report(results: Dict[str, float]) -> None:
@@ -970,6 +1051,27 @@ def _report(results: Dict[str, float]) -> None:
             "and is not asserted on this host"
         )
 
+    print_header(
+        f"Sampled attack step: {results['sampled_graph']} "
+        f"(N={results['sampled_nodes']}, "
+        f"{results['sampled_candidate_pairs']:,} candidate pairs, "
+        f"block {results['sampled_block']})"
+    )
+    print(
+        f"one propose_flips step: {results['sampled_step_ms']:.1f} ms, "
+        f"{results['sampled_flips']} positive-gain flips"
+    )
+    print(
+        f"additional peak RSS: {results['sampled_peak_delta_mb']:.1f} MiB "
+        f"(ceiling {SAMPLED_RSS_CEILING_MB:.0f} MiB at full scale; the dense "
+        "candidate space would need "
+        f"{results['sampled_candidate_pairs'] * 8 / 2**30:.1f} GiB of scores)"
+    )
+    print(
+        "covering block == exhaustive reference: "
+        f"{'yes' if results['sampled_reference_match'] else 'NO'}"
+    )
+
 
 def _sweep_floor_applies(results: Dict[str, float], smoke: bool) -> bool:
     """Whether the parallel wall-clock floor is meaningful on this host."""
@@ -1001,6 +1103,9 @@ def test_hotpath_cached_and_incremental_speedup():
     assert results["scaffold_losses_identical"], (
         "scaffold cache changed the generator-update losses"
     )
+    assert results["sampled_reference_match"], (
+        "sampled attacker's covering block diverged from the exhaustive reference"
+    )
     if not SMOKE:
         assert results["speedup_cached"] >= SPEEDUP_FLOOR, results
         assert results["speedup_incremental"] >= SPEEDUP_FLOOR, results
@@ -1012,6 +1117,12 @@ def test_hotpath_cached_and_incremental_speedup():
             f"{results['blocked_peak_delta_mb']:.1f} MiB > "
             f"{results['blocked_rss_ceiling_mb']:.1f} MiB"
         )
+        if not math.isnan(results["sampled_peak_delta_mb"]):
+            assert results["sampled_peak_delta_mb"] <= SAMPLED_RSS_CEILING_MB, (
+                "sampled attack step exceeded its peak-RSS ceiling: "
+                f"{results['sampled_peak_delta_mb']:.1f} MiB > "
+                f"{SAMPLED_RSS_CEILING_MB:.1f} MiB"
+            )
     if _sweep_floor_applies(results, SMOKE):
         assert results["sweep_speedup"] >= SWEEP_SPEEDUP_FLOOR, results
 
@@ -1039,6 +1150,8 @@ if __name__ == "__main__":
         raise SystemExit("blocked-vs-dense propagation equivalence check FAILED")
     if not outcome["scaffold_losses_identical"]:
         raise SystemExit("scaffold-cache loss bit-identity check FAILED")
+    if not outcome["sampled_reference_match"]:
+        raise SystemExit("sampled-vs-exhaustive attack equivalence check FAILED")
     if not (args.smoke or SMOKE):
         if min(outcome["speedup_cached"], outcome["speedup_incremental"]) < SPEEDUP_FLOOR:
             raise SystemExit(f"speedup below {SPEEDUP_FLOOR}x")
@@ -1054,6 +1167,11 @@ if __name__ == "__main__":
             )
         if outcome["blocked_peak_delta_mb"] > outcome["blocked_rss_ceiling_mb"]:
             raise SystemExit("blocked propagation exceeded its peak-RSS ceiling")
+        if (
+            not math.isnan(outcome["sampled_peak_delta_mb"])
+            and outcome["sampled_peak_delta_mb"] > SAMPLED_RSS_CEILING_MB
+        ):
+            raise SystemExit("sampled attack step exceeded its peak-RSS ceiling")
     if _sweep_floor_applies(outcome, args.smoke or SMOKE):
         if outcome["sweep_speedup"] < SWEEP_SPEEDUP_FLOOR:
             raise SystemExit(f"sweep-throughput speedup below {SWEEP_SPEEDUP_FLOOR}x")

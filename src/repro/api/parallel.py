@@ -61,7 +61,12 @@ from repro.api.runner import (
 )
 from repro.api.spec import ExecutionSpec, ExperimentSpec, SweepSpec
 from repro.exceptions import SweepExecutionError
-from repro.graph.blocked import remove_process_scratch, set_blocked_threshold
+from repro.graph.blocked import (
+    remove_process_scratch,
+    scratch_root,
+    set_blocked_threshold,
+    set_scratch_root,
+)
 from repro.graph.cache import get_default_cache
 from repro.graph.data import GraphData
 from repro.registry import CONDENSERS
@@ -98,6 +103,7 @@ def _cell_worker(
     graph: Optional[GraphData],
     warm_payload: Optional[bytes],
     blocked_threshold: Optional[int] = None,
+    blocked_scratch_root: Optional[str] = None,
 ) -> None:
     """Worker entry point: run one cell, ship its record + cache stats back.
 
@@ -108,9 +114,15 @@ def _cell_worker(
     child inherits the parent's counter values, which must not be re-counted
     once per worker in the merge.  ``blocked_threshold`` re-installs the
     sweep's blocked-propagation override (forked workers inherit it, but
-    ``spawn`` workers start from module defaults); the worker's own blocked
+    ``spawn`` workers start from module defaults).  ``blocked_scratch_root``
+    is the scratch root the parent resolved at sweep start: pinning it here
+    BEFORE any blocked propagation runs guarantees the worker's block files
+    land where the parent's crash/timeout cleanup will look, even if the
+    cell mutates ``REPRO_BLOCKED_DIR`` mid-run.  The worker's own blocked
     scratch directory is removed on the way out regardless of outcome.
     """
+    if blocked_scratch_root is not None:
+        set_scratch_root(blocked_scratch_root)
     if blocked_threshold is not None:
         set_blocked_threshold(blocked_threshold)
     cache = get_default_cache()
@@ -212,6 +224,10 @@ class _RunningCell:
     spec: ExperimentSpec
     started: float
     deadline: Optional[float]
+    #: Scratch root resolved once at sweep start and pinned in the worker —
+    #: the parent cleans a dead worker's blocked scratch under *this* root,
+    #: not whatever its environment resolves to at cleanup time.
+    scratch_root: str
 
 
 def _stop_process(cell: _RunningCell) -> None:
@@ -230,7 +246,7 @@ def _stop_process(cell: _RunningCell) -> None:
             cell.process.join()
     cell.connection.close()
     if cell.process.pid is not None:
-        remove_process_scratch(cell.process.pid)
+        remove_process_scratch(cell.process.pid, root=cell.scratch_root)
 
 
 def run_sweep_process(
@@ -254,6 +270,11 @@ def run_sweep_process(
     # activity this sweep paid; merge its counter delta alongside the worker
     # deltas so serial and process runs report comparable totals.
     parent_before = cache_counters(get_default_cache().stats())
+    # One resolution of the blocked-scratch root for the whole sweep: every
+    # worker pins it before doing blocked work, and every parent-side cleanup
+    # of a dead worker targets it, so a mid-sweep REPRO_BLOCKED_DIR change
+    # (parent or cell) can no longer strand block files.
+    sweep_scratch_root = scratch_root()
     graphs, warm = prepare_handoff(specs, start_method)
     parent_after = cache_counters(get_default_cache().stats())
     records: List[Optional[RunRecord]] = [None] * len(specs)
@@ -279,6 +300,7 @@ def run_sweep_process(
                 graphs.get(key),
                 warm.get(key),
                 execution.blocked_threshold,
+                sweep_scratch_root,
             ),
             daemon=True,
             name=f"repro-sweep-{sweep.name}-cell-{index}",
@@ -292,6 +314,7 @@ def run_sweep_process(
             spec=spec,
             started=now,
             deadline=None if execution.timeout is None else now + execution.timeout,
+            scratch_root=sweep_scratch_root,
         )
         logger.info(
             "sweep %s: dispatched cell %d (%s/%s/%s) to pid %s",
@@ -336,8 +359,9 @@ def run_sweep_process(
             cell.connection.close()
             if cell.process.pid is not None:
                 # A worker that died without reporting also skipped its own
-                # scratch cleanup; reclaim its blocked block files here.
-                remove_process_scratch(cell.process.pid)
+                # scratch cleanup; reclaim its blocked block files here,
+                # under the root the worker was pinned to at launch.
+                remove_process_scratch(cell.process.pid, root=cell.scratch_root)
             return RunRecord.from_failure(
                 cell.spec,
                 index,

@@ -7,6 +7,10 @@
   the condensed graph (the Figure 1 strawman).
 * :mod:`repro.attack.baselines` — GTA and DOORPING adapted to graph
   condensation (Figure 4 comparison).
+* :class:`~repro.attack.sampled.SampledEdgeAttack` — PRBCD-style sampled
+  search-space edge flips (budgeted topology poisoning at any scale).
+* :class:`~repro.attack.injection.NodeInjectionAttack` — budgeted fake-node
+  injection with feature-bound projection.
 """
 
 from repro.attack.kmeans import KMeans
@@ -26,6 +30,8 @@ from repro.attack.trigger import (
 from repro.attack.bgc import BGC, BGCConfig, BGCResult
 from repro.attack.naive import NaivePoison
 from repro.attack.baselines import GTAAttack, DoorpingAttack
+from repro.attack.sampled import SampledEdgeAttack, SampledEdgeConfig
+from repro.attack.injection import NodeInjectionAttack, InjectionConfig
 from repro.attack.analysis import (
     condensed_graph_divergence,
     trigger_statistics,
@@ -49,6 +55,10 @@ __all__ = [
     "NaivePoison",
     "GTAAttack",
     "DoorpingAttack",
+    "SampledEdgeAttack",
+    "SampledEdgeConfig",
+    "NodeInjectionAttack",
+    "InjectionConfig",
     "condensed_graph_divergence",
     "trigger_statistics",
     "class_distribution_shift",

@@ -107,12 +107,19 @@ class KMeans:
         closest = ((points - centroids[0]) ** 2).sum(axis=1)
         for index in range(1, k):
             total = closest.sum()
-            if total <= 0:
-                centroids[index] = points[int(rng.integers(n))]
+            # Degenerate distance mass falls back to a uniform draw.  Three
+            # cases would otherwise crash or corrupt `rng.choice(p=...)`:
+            # an all-duplicate point set (total == 0 → 0/0 NaN weights), a
+            # NaN coordinate (total is NaN, every comparison False, NaN
+            # weights propagate), and huge coordinates whose squared
+            # distances overflow to inf (weights collapse to 0/NaN and no
+            # longer sum to 1).
+            if not np.isfinite(total) or total <= 0:
+                chosen = int(rng.integers(n))
             else:
                 probabilities = closest / total
                 chosen = int(rng.choice(n, p=probabilities))
-                centroids[index] = points[chosen]
+            centroids[index] = points[chosen]
             distances = ((points - centroids[index]) ** 2).sum(axis=1)
             closest = np.minimum(closest, distances)
         return centroids

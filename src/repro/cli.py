@@ -50,6 +50,8 @@ from repro.api import (
 )
 from repro.api.spec import EXECUTION_BACKENDS, ON_ERROR_MODES
 from repro.datasets import list_datasets, statistics_table
+from repro.exceptions import GraphValidationError
+from repro.graph.blocked import blocked_threshold
 from repro.registry import CONDENSERS
 from repro.evaluation.reporting import format_percent, format_table, sweep_summary_line
 from repro.utils.logging import enable_console_logging
@@ -338,12 +340,37 @@ def run_attack_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _validate_blocked_environment() -> str | None:
+    """Eagerly resolve the blocked-propagation knobs; return an error message.
+
+    A malformed ``REPRO_BLOCKED_THRESHOLD`` used to surface as a
+    ``GraphValidationError`` traceback out of the first chain build — deep
+    inside a run, after dataset generation already happened.  Checking it
+    before dispatch turns that into one actionable line.
+    """
+    try:
+        blocked_threshold()
+    except GraphValidationError as error:
+        return (
+            f"error: {error}\n"
+            "hint: REPRO_BLOCKED_THRESHOLD selects the element count above "
+            "which hop chains go out of core — set it to a non-negative "
+            "integer (e.g. 16777216), to 0 to force the blocked engine, or "
+            "unset it to use the default."
+        )
+    return None
+
+
 def main(argv: List[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     if getattr(args, "verbose", False):
         enable_console_logging()
+    environment_error = _validate_blocked_environment()
+    if environment_error is not None:
+        print(environment_error, file=sys.stderr)
+        return 2
     if args.command == "datasets":
         return run_datasets_command()
     if args.command == "run":

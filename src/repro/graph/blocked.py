@@ -54,6 +54,7 @@ __all__ = [
     "blocked_spmm",
     "blocked_precompute_hops",
     "scratch_root",
+    "set_scratch_root",
     "process_scratch_dir",
     "remove_process_scratch",
 ]
@@ -71,30 +72,49 @@ DEFAULT_COL_BLOCK = 256
 
 _THRESHOLD_OVERRIDE: Optional[int] = None
 
+#: Memo of the last environment parse: ``(raw_env_string, parsed_value)``.
+#: :func:`blocked_threshold` runs on *every* chain build, so without the memo
+#: each propagation re-parses (and re-validates) the variable; the memo is
+#: keyed by the raw string, so an environment change is still picked up, and
+#: :func:`set_blocked_threshold` invalidates it outright.
+_THRESHOLD_CACHE: Optional[Tuple[Optional[str], int]] = None
+
+
+def _parse_threshold_env(raw: Optional[str]) -> int:
+    if raw is None:
+        return DEFAULT_BLOCKED_THRESHOLD
+    try:
+        value = int(raw)
+    except ValueError as error:
+        raise GraphValidationError(
+            f"REPRO_BLOCKED_THRESHOLD must be an integer, got {raw!r}"
+        ) from error
+    if value < 0:
+        raise GraphValidationError(
+            f"REPRO_BLOCKED_THRESHOLD must be >= 0, got {value}"
+        )
+    return value
+
 
 def blocked_threshold() -> int:
     """The element-count threshold above which hop chains go blocked.
 
     Resolution order: :func:`set_blocked_threshold` override (used by the
     ``ExecutionSpec.blocked_threshold`` knob), the ``REPRO_BLOCKED_THRESHOLD``
-    environment variable, then :data:`DEFAULT_BLOCKED_THRESHOLD`.
+    environment variable, then :data:`DEFAULT_BLOCKED_THRESHOLD`.  The
+    environment parse is memoised per raw string — chain builds call this on
+    their hot path.
     """
+    global _THRESHOLD_CACHE
     if _THRESHOLD_OVERRIDE is not None:
         return _THRESHOLD_OVERRIDE
     raw = os.environ.get("REPRO_BLOCKED_THRESHOLD")
-    if raw is not None:
-        try:
-            value = int(raw)
-        except ValueError as error:
-            raise GraphValidationError(
-                f"REPRO_BLOCKED_THRESHOLD must be an integer, got {raw!r}"
-            ) from error
-        if value < 0:
-            raise GraphValidationError(
-                f"REPRO_BLOCKED_THRESHOLD must be >= 0, got {value}"
-            )
-        return value
-    return DEFAULT_BLOCKED_THRESHOLD
+    cached = _THRESHOLD_CACHE
+    if cached is not None and cached[0] == raw:
+        return cached[1]
+    value = _parse_threshold_env(raw)
+    _THRESHOLD_CACHE = (raw, value)
+    return value
 
 
 def set_blocked_threshold(value: Optional[int]) -> Optional[int]:
@@ -108,7 +128,7 @@ def set_blocked_threshold(value: Optional[int]) -> Optional[int]:
         finally:
             set_blocked_threshold(previous)
     """
-    global _THRESHOLD_OVERRIDE
+    global _THRESHOLD_OVERRIDE, _THRESHOLD_CACHE
     if value is not None:
         if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
             raise GraphValidationError(
@@ -119,6 +139,7 @@ def set_blocked_threshold(value: Optional[int]) -> Optional[int]:
         value = int(value)
     previous = _THRESHOLD_OVERRIDE
     _THRESHOLD_OVERRIDE = value
+    _THRESHOLD_CACHE = None
     return previous
 
 
@@ -141,12 +162,40 @@ def block_rows() -> int:
 # ------------------------------------------------------------------ #
 # Scratch-directory lifecycle
 # ------------------------------------------------------------------ #
+_SCRATCH_ROOT_OVERRIDE: Optional[str] = None
+
+
+def set_scratch_root(root: Optional[str]) -> Optional[str]:
+    """Pin (or clear, with ``None``) the scratch root for this process.
+
+    Returns the previous override.  The parallel executor resolves the root
+    *once* at sweep start and installs it in every worker: without the pin, a
+    worker whose environment diverges from the parent's (a cell mutating
+    ``REPRO_BLOCKED_DIR``, a spawn-start worker with a different profile)
+    writes its block files where the parent's crash/timeout cleanup will
+    never look, leaking them.
+    """
+    global _SCRATCH_ROOT_OVERRIDE
+    if root is not None and not isinstance(root, str):
+        raise GraphValidationError(
+            f"scratch root must be a string or None, got {root!r}"
+        )
+    previous = _SCRATCH_ROOT_OVERRIDE
+    _SCRATCH_ROOT_OVERRIDE = root
+    return previous
+
+
 def scratch_root() -> str:
     """Directory under which per-process scratch dirs are created.
 
-    ``REPRO_BLOCKED_DIR`` selects a cache directory (created if missing);
-    otherwise the platform temp dir (``tempfile.gettempdir()``) is used.
+    Resolution order: the :func:`set_scratch_root` pin (installed in sweep
+    workers so parent and worker agree on one root for the whole sweep),
+    then ``REPRO_BLOCKED_DIR`` (created if missing), then the platform temp
+    dir (``tempfile.gettempdir()``).
     """
+    if _SCRATCH_ROOT_OVERRIDE is not None:
+        os.makedirs(_SCRATCH_ROOT_OVERRIDE, exist_ok=True)
+        return _SCRATCH_ROOT_OVERRIDE
     configured = os.environ.get("REPRO_BLOCKED_DIR")
     if configured:
         os.makedirs(configured, exist_ok=True)
@@ -154,21 +203,29 @@ def scratch_root() -> str:
     return tempfile.gettempdir()
 
 
-def process_scratch_dir(pid: Optional[int] = None) -> str:
-    """Path of the scratch directory owned by ``pid`` (default: this process)."""
+def process_scratch_dir(pid: Optional[int] = None, root: Optional[str] = None) -> str:
+    """Path of the scratch directory owned by ``pid`` (default: this process).
+
+    ``root`` overrides the resolved scratch root — the parallel executor
+    passes the root it pinned at sweep start so cleanup of a dead worker
+    targets the directory the worker actually used, not whatever the
+    parent's environment resolves to at cleanup time.
+    """
     if pid is None:
         pid = os.getpid()
-    return os.path.join(scratch_root(), f"repro-blocked-{pid}")
+    return os.path.join(root if root is not None else scratch_root(),
+                        f"repro-blocked-{pid}")
 
 
-def remove_process_scratch(pid: Optional[int] = None) -> None:
+def remove_process_scratch(pid: Optional[int] = None, root: Optional[str] = None) -> None:
     """Best-effort removal of the scratch directory owned by ``pid``.
 
     Used by the parallel executor to reclaim the block files of worker
-    processes that were killed or timed out before their own cleanup ran.
+    processes that were killed or timed out before their own cleanup ran;
+    ``root`` is forwarded to :func:`process_scratch_dir`.
     """
     try:
-        shutil.rmtree(process_scratch_dir(pid), ignore_errors=True)
+        shutil.rmtree(process_scratch_dir(pid, root=root), ignore_errors=True)
     except OSError:  # pragma: no cover - rmtree already suppresses most errors
         pass
 

@@ -349,3 +349,99 @@ def _expand(adjacency: sp.spmatrix, new_size: int) -> sp.csr_matrix:
     return sp.csr_matrix(
         (coo.data, (coo.row, coo.col)), shape=(new_size, new_size)
     )
+
+
+# ------------------------------------------------------------------ #
+# Sampled-attack delta primitives (edge toggles + injected nodes)
+# ------------------------------------------------------------------ #
+def toggle_edges(
+    adjacency: sp.spmatrix, rows: np.ndarray, cols: np.ndarray
+) -> Tuple[sp.csr_matrix, np.ndarray]:
+    """Flip the undirected pairs ``(rows[k], cols[k])`` in ``adjacency``.
+
+    Each listed pair is toggled symmetrically: a present edge is removed
+    (whatever its weight), an absent edge is inserted with weight 1.  Cost is
+    ``O(nnz + pairs)`` — one additive sparse update — never ``O(N^2)``, which
+    is what lets a sampled-block attacker apply a handful of flips per step
+    on six-figure-node graphs.
+
+    Returns
+    -------
+    (new_adjacency, changed_nodes):
+        The toggled CSR matrix and the sorted unique endpoints of every
+        toggled pair — exactly the :class:`~repro.graph.data.GraphDelta`
+        contract set a view built on the result must declare.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    if rows.shape != cols.shape or rows.ndim != 1:
+        raise GraphValidationError(
+            f"rows/cols must be matching 1-D arrays, got {rows.shape} and {cols.shape}"
+        )
+    if rows.size == 0:
+        return adjacency.tocsr().copy(), np.empty(0, dtype=np.int64)
+    n = adjacency.shape[0]
+    if rows.min() < 0 or cols.min() < 0 or rows.max() >= n or cols.max() >= n:
+        raise GraphValidationError("edge endpoints out of range")
+    if np.any(rows == cols):
+        raise GraphValidationError("self-loop toggles are not supported")
+    stacked = np.stack([np.minimum(rows, cols), np.maximum(rows, cols)], axis=1)
+    if np.unique(stacked, axis=0).shape[0] != rows.size:
+        raise GraphValidationError("duplicate pairs in one toggle batch")
+    adjacency = adjacency.tocsr()
+    current = np.asarray(adjacency[rows, cols]).reshape(-1)
+    delta = np.where(current != 0.0, -current, 1.0)
+    sym_rows = np.concatenate([rows, cols])
+    sym_cols = np.concatenate([cols, rows])
+    update = sp.coo_matrix(
+        (np.concatenate([delta, delta]), (sym_rows, sym_cols)), shape=adjacency.shape
+    )
+    toggled = (adjacency + update.tocsr()).tocsr()
+    toggled.eliminate_zeros()
+    toggled.sort_indices()
+    return toggled, np.unique(sym_rows)
+
+
+def append_node_edges(
+    adjacency: sp.spmatrix, host_index: np.ndarray
+) -> Tuple[sp.csr_matrix, np.ndarray]:
+    """Append one node per row of ``host_index``, wired to its listed hosts.
+
+    ``host_index`` has shape ``(M, k)``: appended node ``N + m`` gains an
+    undirected unit edge to each pre-existing node in ``host_index[m]``.
+    Appended nodes are not wired to each other (an injection attacker wants
+    its fake nodes to blend into real neighbourhoods, not form a clique).
+
+    Returns
+    -------
+    (new_adjacency, changed_nodes):
+        The ``(N + M, N + M)`` CSR matrix and the sorted unique hosts — the
+        pre-existing endpoints a :class:`~repro.graph.data.GraphDelta` built
+        on the result must declare (appended nodes are implicit).
+    """
+    host_index = np.asarray(host_index, dtype=np.int64)
+    if host_index.ndim != 2:
+        raise GraphValidationError(
+            f"host_index must have shape (M, k), got {host_index.shape}"
+        )
+    n = adjacency.shape[0]
+    num_injected, per_node = host_index.shape
+    if num_injected == 0 or per_node == 0:
+        return adjacency.tocsr().copy(), np.empty(0, dtype=np.int64)
+    if host_index.min() < 0 or host_index.max() >= n:
+        raise GraphValidationError("injection hosts out of range")
+    for m in range(num_injected):
+        if np.unique(host_index[m]).size != per_node:
+            raise GraphValidationError(f"duplicate hosts for injected node {m}")
+    total = n + num_injected
+    rows = np.repeat(np.arange(n, total, dtype=np.int64), per_node)
+    cols = host_index.reshape(-1)
+    data = np.ones(rows.size, dtype=np.float64)
+    cross = sp.coo_matrix(
+        (np.concatenate([data, data]),
+         (np.concatenate([rows, cols]), np.concatenate([cols, rows]))),
+        shape=(total, total),
+    )
+    expanded = (_expand(adjacency, total) + cross.tocsr()).tocsr()
+    expanded.sort_indices()
+    return expanded, np.unique(cols)

@@ -39,6 +39,7 @@ from repro.api import (
 )
 from repro.api.parallel import prepare_handoff, preferred_start_method
 from repro.exceptions import SweepExecutionError
+from repro.graph.blocked import process_scratch_dir
 from repro.graph.cache import PropagationCache
 from repro.registry import CONDENSERS
 
@@ -326,6 +327,59 @@ class TestFaultInjection:
         assert records[0].ok
         assert records[1].status == "failed"
         assert records[1].error["type"] == "DatasetError"
+
+
+class TestScratchCleanup:
+    @needs_fork
+    def test_dead_worker_scratch_removed_despite_env_divergence(
+        self, tmp_path, monkeypatch
+    ):
+        """Crash cleanup targets the root resolved at sweep start.
+
+        Regression: cleanup used to re-resolve ``scratch_root()`` from the
+        parent's environment at cleanup time, so a worker whose environment
+        diverged (here: a cell mutating ``REPRO_BLOCKED_DIR`` mid-run) wrote
+        its block files where cleanup never looked, leaking them.  The
+        executor now resolves the root once at sweep start, pins it inside
+        every worker, and passes it to the crash-path cleanup.
+        """
+        parent_root = tmp_path / "parent-scratch"
+        rogue_root = tmp_path / "rogue-scratch"
+        parent_root.mkdir()
+        rogue_root.mkdir()
+        monkeypatch.setenv("REPRO_BLOCKED_DIR", str(parent_root))
+
+        class _ScratchLeaker:
+            def condense(self, graph, rng):
+                # Diverge the worker's environment *after* the sweep pinned
+                # its root: scratch must still land under parent_root.
+                os.environ["REPRO_BLOCKED_DIR"] = str(rogue_root)
+                scratch = process_scratch_dir()
+                os.makedirs(scratch, exist_ok=True)
+                with open(os.path.join(scratch, "leak.bin"), "wb") as handle:
+                    handle.write(b"\0" * 4096)
+                os._exit(1)
+
+        CONDENSERS.register(
+            "scratch-leak-test", factory=lambda **kwargs: _ScratchLeaker()
+        )
+        try:
+            records = run_sweep(
+                fault_sweep(["gcond", "scratch-leak-test"]),
+                execution=ExecutionSpec(
+                    backend="process", workers=2, on_error="record"
+                ),
+            )
+        finally:
+            CONDENSERS.unregister("scratch-leak-test")
+        assert records[0].ok
+        assert records[1].error["type"] == "WorkerCrash"
+        leaked = [
+            str(path)
+            for root in (parent_root, rogue_root)
+            for path in root.glob("repro-blocked-*")
+        ]
+        assert leaked == [], f"blocked scratch leaked: {leaked}"
 
 
 class TestCacheHandoff:

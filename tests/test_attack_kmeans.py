@@ -93,6 +93,32 @@ class TestKMeans:
         model = KMeans(num_clusters=2).fit(points, rng)
         assert np.isfinite(model.inertia)
 
+    def test_nan_points_do_not_crash_seeding(self, rng):
+        """NaN coordinates poison the k-means++ weights; seeding must not crash.
+
+        Regression: ``rng.choice(p=...)`` raised on NaN probabilities because
+        the degenerate-mass guard only caught ``total <= 0`` (every comparison
+        against NaN is False).  The seeder now falls back to a uniform draw.
+        """
+        points = np.full((8, 2), np.nan)
+        model = KMeans(num_clusters=3).fit(points, rng)
+        assert model.centroids.shape == (3, 2)
+        assert model.assignments.shape == (8,)
+
+    def test_huge_points_overflow_to_uniform_fallback(self, rng):
+        """Squared distances overflowing to inf must also hit the fallback."""
+        points = np.array([[1e200, 0.0], [-1e200, 0.0]] * 5)
+        model = KMeans(num_clusters=2).fit(points, rng)
+        assert model.centroids.shape == (2, 2)
+        assert model.assignments.shape == (10,)
+
+    def test_plus_plus_uniform_fallback_is_deterministic(self):
+        points = np.ones((6, 2))
+        a = KMeans._plus_plus_init(points, 3, new_rng(5))
+        b = KMeans._plus_plus_init(points, 3, new_rng(5))
+        np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(a, np.ones((3, 2)))
+
 
 class TestKMeansProperties:
     @given(

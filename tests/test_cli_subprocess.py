@@ -166,3 +166,30 @@ class TestLegacyCommands:
         assert result.returncode == 0, result.stderr
         assert "ASR %" in result.stdout
         assert "poisoned nodes" in result.stdout
+
+
+class TestBlockedEnvironmentValidation:
+    """A malformed REPRO_BLOCKED_THRESHOLD fails fast with one actionable line.
+
+    Regression: it used to surface as a GraphValidationError traceback out of
+    the first chain build, deep inside a run.
+    """
+
+    def test_malformed_threshold_exits_2_with_hint(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BLOCKED_THRESHOLD", "banana")
+        result = run_cli("datasets")
+        assert result.returncode == 2
+        assert "REPRO_BLOCKED_THRESHOLD must be an integer" in result.stderr
+        assert "hint:" in result.stderr
+        assert "Traceback" not in result.stderr
+
+    def test_negative_threshold_exits_2(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BLOCKED_THRESHOLD", "-3")
+        result = run_cli("datasets")
+        assert result.returncode == 2
+        assert "must be >= 0" in result.stderr
+
+    def test_valid_threshold_is_accepted(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BLOCKED_THRESHOLD", "16777216")
+        result = run_cli("datasets")
+        assert result.returncode == 0, result.stderr

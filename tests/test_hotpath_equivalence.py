@@ -773,3 +773,59 @@ class TestBlockedStoreProperties:
         del store
         gc.collect()
         assert not os.path.exists(directory)
+
+
+class TestBlockedThresholdResolution:
+    """The threshold sits on every chain build: memoised, still env-driven."""
+
+    def test_same_raw_string_parses_once(self, monkeypatch):
+        from repro.graph import blocked
+
+        parses = []
+        original = blocked._parse_threshold_env
+        monkeypatch.setattr(
+            blocked,
+            "_parse_threshold_env",
+            lambda raw: (parses.append(raw), original(raw))[1],
+        )
+        monkeypatch.setenv("REPRO_BLOCKED_THRESHOLD", "424242")
+        set_blocked_threshold(None)  # drop any stale memo from other tests
+        for _ in range(5):
+            assert blocked.blocked_threshold() == 424242
+        assert parses == ["424242"]
+
+    def test_environment_change_invalidates_the_memo(self, monkeypatch):
+        from repro.graph.blocked import DEFAULT_BLOCKED_THRESHOLD, blocked_threshold
+
+        set_blocked_threshold(None)
+        monkeypatch.setenv("REPRO_BLOCKED_THRESHOLD", "111")
+        assert blocked_threshold() == 111
+        monkeypatch.setenv("REPRO_BLOCKED_THRESHOLD", "222")
+        assert blocked_threshold() == 222
+        monkeypatch.delenv("REPRO_BLOCKED_THRESHOLD")
+        assert blocked_threshold() == DEFAULT_BLOCKED_THRESHOLD
+
+    def test_malformed_environment_raises_actionable_error(self, monkeypatch):
+        from repro.graph.blocked import blocked_threshold
+
+        set_blocked_threshold(None)
+        monkeypatch.setenv("REPRO_BLOCKED_THRESHOLD", "banana")
+        with pytest.raises(GraphValidationError, match="must be an integer"):
+            blocked_threshold()
+        monkeypatch.setenv("REPRO_BLOCKED_THRESHOLD", "-5")
+        with pytest.raises(GraphValidationError, match=">= 0"):
+            blocked_threshold()
+
+    def test_override_wins_and_clears_back_to_env(self, monkeypatch):
+        from repro.graph.blocked import blocked_threshold
+
+        monkeypatch.setenv("REPRO_BLOCKED_THRESHOLD", "777")
+        previous = set_blocked_threshold(0)
+        try:
+            # Even a malformed env is irrelevant while the override is pinned.
+            monkeypatch.setenv("REPRO_BLOCKED_THRESHOLD", "banana")
+            assert blocked_threshold() == 0
+        finally:
+            set_blocked_threshold(previous)
+        monkeypatch.setenv("REPRO_BLOCKED_THRESHOLD", "888")
+        assert blocked_threshold() == 888
