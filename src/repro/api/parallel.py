@@ -44,6 +44,7 @@ import multiprocessing
 import multiprocessing.connection
 import pickle
 import sys
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -449,4 +450,102 @@ def run_sweep_process(
         for cell in running.values():
             _stop_process(cell)
         running.clear()
+    return records, merge_cache_stats(worker_stats)
+
+
+def run_sweep_pool(
+    sweep: SweepSpec,
+    specs: List[ExperimentSpec],
+    order: List[int],
+    execution: ExecutionSpec,
+    on_record: Optional[Callable[[RunRecord], None]] = None,
+) -> Tuple[List[RunRecord], Dict[str, int]]:
+    """Execute ``specs`` on a persistent worker pool (``backend="pool"``).
+
+    Same contract as :func:`run_sweep_process` — records indexed by grid
+    position, ``on_record`` in completion order, merged cache stats,
+    :class:`SweepExecutionError` on first failure under
+    ``on_error="raise"`` — but instead of forking one process per *cell*,
+    ``execution.workers`` long-lived :class:`~repro.service.pool.WorkerPool`
+    processes are reused across every cell of the sweep.  The per-cell seeds
+    fixed at expansion time make the records bit-identical to both the
+    serial and the fork-per-cell backends.
+    """
+    from repro.service.pool import WorkerPool
+
+    parent_before = cache_counters(get_default_cache().stats())
+    # Handoff BEFORE the pool starts: forked workers inherit the loaded
+    # datasets and the warmed cache through copy-on-write pages; under spawn
+    # the pickled payloads below are shipped with each worker's first cell
+    # on that dataset instead.
+    graphs, warm = prepare_handoff(specs)
+    parent_after = cache_counters(get_default_cache().stats())
+    records: List[Optional[RunRecord]] = [None] * len(specs)
+    finished = threading.Event()
+    lock = threading.Lock()
+    state: Dict[str, Any] = {"left": len(order), "failure": None}
+
+    def make_on_done(index: int) -> Callable[[RunRecord], None]:
+        def on_done(record: RunRecord) -> None:
+            deliver = False
+            with lock:
+                records[index] = record
+                state["left"] -= 1
+                if (
+                    not record.ok
+                    and execution.on_error == "raise"
+                    and state["failure"] is None
+                ):
+                    # First failure aborts the sweep; the failed record is
+                    # raised, not streamed, matching the process backend.
+                    state["failure"] = record
+                    finished.set()
+                else:
+                    deliver = on_record is not None
+                    if state["left"] == 0:
+                        finished.set()
+            if deliver:
+                on_record(record)
+
+        return on_done
+
+    pool = WorkerPool(
+        execution.workers,
+        timeout=execution.timeout,
+        blocked_threshold=execution.blocked_threshold,
+        name=sweep.name,
+    )
+    try:
+        pool.start()
+        if not order:
+            finished.set()
+        for index in order:
+            spec = specs[index]
+            try:
+                key = dataset_cache_key(spec)
+            except Exception:  # noqa: BLE001 — bad overrides fail in-worker
+                key = None
+            pool.submit(
+                spec,
+                index,
+                on_done=make_on_done(index),
+                graph=graphs.get(key),
+                warm_payload=warm.get(key),
+            )
+        finished.wait()
+        failure = state["failure"]
+        if failure is not None:
+            raise SweepExecutionError(
+                f"sweep {sweep.name!r} cell {failure.cell_index} failed with "
+                f"{failure.error.get('type', 'Exception')}: "
+                f"{failure.error.get('message', '')}\n"
+                f"{failure.error.get('traceback', '')}",
+                record=failure,
+            )
+    finally:
+        pool.shutdown()
+    worker_stats = [
+        {key: parent_after[key] - parent_before[key] for key in CACHE_COUNTER_KEYS}
+    ]
+    worker_stats.extend(pool.merged_worker_stats())
     return records, merge_cache_stats(worker_stats)

@@ -565,6 +565,12 @@ def _run_sweep_cells(
         )
         return SweepRecord(records, cache_stats=cache_stats)
 
+    if execution.backend == "pool":
+        from repro.api.parallel import run_sweep_pool
+
+        records, cache_stats = run_sweep_pool(sweep, specs, order, execution, on_record)
+        return SweepRecord(records, cache_stats=cache_stats)
+
     from repro.graph.cache import get_default_cache
 
     stats_before = cache_counters(get_default_cache().stats())

@@ -14,6 +14,7 @@ True
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import json
 import math
@@ -192,6 +193,21 @@ class ExperimentSpec:
         """Parse a JSON string produced by :meth:`to_json` (or hand-written)."""
         return cls.from_dict(json.loads(text))
 
+    def cache_key(self) -> str:
+        """Content-address of this cell: sha256 over the canonical JSON form.
+
+        The hash is taken over the exact round-trip representation
+        (:meth:`to_dict` with sorted keys and compact separators), which
+        already folds the shorthand spellings together — ``"gcond"`` and
+        ``{"name": "gcond", "overrides": {}}`` hash identically — and
+        includes the seed, so two specs share a key exactly when
+        :func:`~repro.api.runner.run_experiment` would produce bit-identical
+        records for them.  This is the key under which the
+        :class:`~repro.service.store.ResultStore` memoises completed cells.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
     # -------------------------------------------------------------- #
     # Derivation
     # -------------------------------------------------------------- #
@@ -224,7 +240,7 @@ class ExperimentSpec:
 
 
 #: Execution backends accepted by :class:`ExecutionSpec`.
-EXECUTION_BACKENDS = ("serial", "process")
+EXECUTION_BACKENDS = ("serial", "process", "pool")
 #: Failure policies accepted by :class:`ExecutionSpec`.
 ON_ERROR_MODES = ("raise", "record")
 
@@ -242,7 +258,11 @@ class ExecutionSpec:
         ``"serial"`` runs cells in the calling process (the default);
         ``"process"`` runs each cell in its own worker process (a pool of at
         most ``workers`` live at a time) with shard-aware
-        :class:`~repro.graph.cache.PropagationCache` handoff.
+        :class:`~repro.graph.cache.PropagationCache` handoff; ``"pool"``
+        reuses one long-lived worker process per slot across cells (see
+        :class:`~repro.service.pool.WorkerPool`) — same fault isolation and
+        bit-identical results, but grids of many tiny cells stop paying one
+        process launch per cell.
     ``workers``
         Maximum number of concurrently live worker processes (ignored by the
         serial backend).

@@ -11,6 +11,13 @@ Spec-driven workflows::
     python -m repro.cli sweep --spec sweep.json --out results.jsonl
     python -m repro.cli sweep --spec sweep.json --workers 4 --on-error record
 
+Service workflows (persistent worker pool + content-addressed result store,
+see :mod:`repro.service`)::
+
+    python -m repro.cli serve  --socket /tmp/repro.sock --workers 4 --store runs/store
+    python -m repro.cli submit --socket /tmp/repro.sock --spec sweep.json --out out.jsonl
+    python -m repro.cli jobs   --socket /tmp/repro.sock
+
 ``sweep`` executes serially by default; ``--workers N`` (N > 1) switches to
 the process-pool backend — bit-identical results, cells fanned out over N
 worker processes with shard-aware propagation-cache handoff.  ``--out``
@@ -87,6 +94,42 @@ def build_parser() -> argparse.ArgumentParser:
                        help="'record' turns a failing cell into a failed RunRecord and keeps "
                             "going (exit code 1 if any cell failed); 'raise' aborts the sweep")
     sweep.add_argument("--verbose", action="store_true", help="enable console logging")
+
+    serve = subparsers.add_parser(
+        "serve", help="run the condensation service (worker pool + result store) on a unix socket"
+    )
+    serve.add_argument("--socket", required=True, help="unix socket path to listen on")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="persistent worker processes (default 2)")
+    serve.add_argument("--store", default=None,
+                       help="result-store root directory (default: $REPRO_RESULT_STORE, "
+                            "else in-memory only)")
+    serve.add_argument("--max-pending", type=int, default=8,
+                       help="bound on queued jobs before submissions are rejected (default 8)")
+    serve.add_argument("--recycle-after", type=int, default=64,
+                       help="cells a worker runs before it is recycled (default 64)")
+    serve.add_argument("--cell-timeout", type=float, default=None,
+                       help="per-cell timeout in seconds")
+    serve.add_argument("--verbose", action="store_true", help="enable console logging")
+
+    submit = subparsers.add_parser(
+        "submit", help="submit a sweep spec to a running service and stream its records"
+    )
+    submit.add_argument("--socket", required=True, help="unix socket of a running `repro serve`")
+    submit.add_argument("--spec", required=True,
+                        help="path to a SweepSpec JSON file ('-' for stdin)")
+    submit.add_argument("--out", default=None,
+                        help="write one RunRecord JSON object per line (canonical grid order) "
+                             "to this file")
+    submit.add_argument("--json", action="store_true",
+                        help="print the job summary as JSON instead of a table")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="queue the job and print its id without waiting for records")
+    submit.add_argument("--verbose", action="store_true", help="enable console logging")
+
+    jobs = subparsers.add_parser("jobs", help="list the jobs of a running service")
+    jobs.add_argument("--socket", required=True, help="unix socket of a running `repro serve`")
+    jobs.add_argument("--json", action="store_true", help="print summaries as JSON")
 
     condense = subparsers.add_parser("condense", help="run a clean graph condensation")
     _add_common_arguments(condense)
@@ -340,6 +383,112 @@ def run_attack_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_serve_command(args: argparse.Namespace) -> int:
+    """Start the condensation service and serve the unix-socket protocol.
+
+    Blocks until a client sends ``{"op": "shutdown"}`` or the process
+    receives SIGINT; either way the worker pool and the result store are
+    shut down cleanly before returning.
+    """
+    from repro.service import CondensationService, ResultStore
+    from repro.service.server import ServiceServer
+
+    service = CondensationService(
+        args.workers,
+        store=ResultStore(args.store),
+        max_pending=args.max_pending,
+        recycle_after=args.recycle_after,
+        timeout=args.cell_timeout,
+    )
+    service.start()
+    server = ServiceServer(args.socket, service)
+    store_root = service.store.root
+    print(
+        f"repro service: {args.workers} workers, "
+        f"store={'in-memory' if store_root is None else store_root}, "
+        f"listening on {args.socket}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.shutdown()
+    return 0
+
+
+def run_submit_command(args: argparse.Namespace) -> int:
+    """Submit a sweep to a running service; stream, reorder, and report.
+
+    Records stream back in completion order and pass through the same
+    :class:`_OrderedJsonlSink` reorder buffer as the in-process ``sweep``
+    command, so ``--out`` files are byte-comparable with serial runs of the
+    same spec (modulo ``timings``).  Exit code 1 when any cell failed.
+    """
+    from repro.service.server import request, submit_and_stream
+
+    payload = _load_payload(args.spec)
+    if args.no_wait:
+        response = request(
+            args.socket, {"op": "submit", "sweep": payload, "wait": False, "block": True}
+        )
+        job = response["job"]
+        if args.json:
+            print(json.dumps(job))
+        else:
+            print(f"queued {job['job_id']} ({job['name']})")
+        return 0
+    sink = open(args.out, "w") if args.out else None
+    on_record = _OrderedJsonlSink(sink) if sink is not None else None
+    records: List[RunRecord] = []
+    summary: Dict[str, Any] | None = None
+    try:
+        for event in submit_and_stream(args.socket, payload):
+            if event.get("event") == "record":
+                record = RunRecord.from_dict(event["record"])
+                records.append(record)
+                if on_record is not None:
+                    on_record(record)
+            elif event.get("event") == "done":
+                summary = event["job"]
+    finally:
+        if sink is not None:
+            on_record.flush_remaining()
+            sink.close()
+    records.sort(key=lambda record: record.cell_index)
+    if args.json:
+        print(json.dumps(summary))
+    else:
+        print(format_table(_align_rows([_record_row(record) for record in records])))
+        if summary is not None:
+            print(
+                f"{summary['completed']} cells | {summary['failed']} failed | "
+                f"{summary['store_hits']} served from store | "
+                f"job {summary['job_id']} {summary['status']}"
+            )
+    return 1 if summary is None or summary["failed"] else 0
+
+
+def run_jobs_command(args: argparse.Namespace) -> int:
+    """List every job the running service has seen."""
+    from repro.service.server import request
+
+    jobs = request(args.socket, {"op": "jobs"})["jobs"]
+    if args.json:
+        print(json.dumps(jobs))
+        return 0
+    if not jobs:
+        print("no jobs")
+        return 0
+    rows = [
+        {key: ("" if value is None else value) for key, value in job.items()}
+        for job in jobs
+    ]
+    print(format_table(_align_rows(rows)))
+    return 0
+
+
 def _validate_blocked_environment() -> str | None:
     """Eagerly resolve the blocked-propagation knobs; return an error message.
 
@@ -377,6 +526,15 @@ def main(argv: List[str] | None = None) -> int:
         return run_run_command(args)
     if args.command == "sweep":
         return run_sweep_command(args)
+    if args.command == "serve":
+        return run_serve_command(args)
+    if args.command in ("submit", "jobs"):
+        runner = run_submit_command if args.command == "submit" else run_jobs_command
+        try:
+            return runner(args)
+        except (ConnectionError, RuntimeError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     if args.command == "condense":
         return run_condense_command(args)
     if args.command == "attack":

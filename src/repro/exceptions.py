@@ -52,3 +52,17 @@ class SweepExecutionError(ReproError):
     def __init__(self, message: str, record=None) -> None:
         super().__init__(message)
         self.record = record
+
+
+class JobQueueFull(ReproError):
+    """Raised when the service's bounded job queue rejects a submission.
+
+    The :class:`~repro.service.jobs.CondensationService` applies
+    backpressure instead of buffering unboundedly: a non-blocking
+    ``submit`` on a queue that already holds ``max_pending`` jobs raises
+    this error so the caller can retry, block, or shed load.
+    """
+
+
+class JobCancelled(ReproError):
+    """Raised when waiting on a job that was cancelled before completion."""

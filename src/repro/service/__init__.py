@@ -1,0 +1,37 @@
+"""Condensation-as-a-service: persistent workers, async jobs, result store.
+
+The service layer turns the one-shot sweep executor into a long-running
+system for heavy repeated traffic::
+
+    queue  -->  pool  -->  store
+    submit      run         memoise
+
+:class:`~repro.service.jobs.CondensationService` accepts
+:class:`~repro.api.spec.ExperimentSpec` / :class:`~repro.api.spec.SweepSpec`
+submissions on a bounded queue and hands back
+:class:`~repro.service.jobs.JobHandle`\\ s; cells execute on a
+:class:`~repro.service.pool.WorkerPool` of long-lived worker processes
+(reused across cells *and* jobs); completed cells are memoised in a
+content-addressed :class:`~repro.service.store.ResultStore`, so resubmitted
+or crashed sweeps skip everything already computed.  Every layer preserves
+the determinism invariant: a pooled or memoised record is bit-identical
+(fingerprint-equal) to the record a serial run would produce.
+
+The ``repro serve`` / ``repro submit`` / ``repro jobs`` CLI verbs in
+:mod:`repro.cli` are thin shells over :mod:`repro.service.server`, which
+wraps a :class:`CondensationService` in a line-delimited-JSON unix-socket
+protocol.
+"""
+
+from repro.service.jobs import CondensationService, JobHandle, JobStatus
+from repro.service.pool import WorkerPool
+from repro.service.store import ResultStore, default_store_root
+
+__all__ = [
+    "CondensationService",
+    "JobHandle",
+    "JobStatus",
+    "WorkerPool",
+    "ResultStore",
+    "default_store_root",
+]

@@ -1,0 +1,274 @@
+"""Unix-socket front end for :class:`~repro.service.jobs.CondensationService`.
+
+One long-lived ``repro serve`` process owns the worker pool and the result
+store; any number of ``repro submit`` / ``repro jobs`` clients talk to it
+over a line-delimited JSON protocol on a unix domain socket.  Every request
+is one JSON object on one line; every response line is either
+
+``{"ok": true, ...}`` / ``{"ok": false, "error": {"type", "message"}}``
+    for one-shot operations, or
+
+``{"event": "record", "record": <RunRecord.to_dict()>}`` lines followed by a
+``{"event": "done", "job": <summary>}`` terminator
+    for a streaming ``submit`` — records arrive in completion order as cells
+    finish (clients that need canonical grid order re-sort on
+    ``record["cell_index"]``, as the CLI's jsonl sink does).
+
+Operations: ``ping``, ``submit`` (``{"sweep": <SweepSpec.to_dict()>,
+"wait": bool}``), ``status`` / ``cancel`` (``{"job_id": ...}``), ``jobs``,
+``stats`` and ``shutdown``.  The protocol is deliberately minimal — both
+ends are this repository — and the server binds a filesystem socket path,
+so access control is the directory's permission bits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+from typing import Any, Dict, Iterator, Optional
+
+from repro.api.spec import SweepSpec
+from repro.service.jobs import CondensationService
+from repro.utils.logging import get_logger
+
+logger = get_logger("service.server")
+
+#: Seconds a client waits for the server to answer one request line.
+DEFAULT_CLIENT_TIMEOUT = 600.0
+
+
+class ServiceServer:
+    """Accept-loop wrapper binding a CondensationService to a unix socket.
+
+    ``serve_forever`` blocks until a client sends ``{"op": "shutdown"}`` or
+    :meth:`stop` is called from another thread; each accepted connection is
+    handled on its own daemon thread, so a slow streaming ``submit`` never
+    blocks ``jobs`` / ``status`` queries from other clients.
+    """
+
+    def __init__(self, socket_path: str, service: CondensationService) -> None:
+        self.socket_path = socket_path
+        self.service = service
+        self._stop = threading.Event()
+        self._listener: Optional[socket.socket] = None
+
+    def serve_forever(self) -> None:
+        """Bind the socket and handle clients until asked to stop."""
+        if os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)  # stale socket from a dead server
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(self.socket_path)
+        listener.listen()
+        listener.settimeout(0.2)
+        self._listener = listener
+        logger.info("service: listening on %s", self.socket_path)
+        try:
+            while not self._stop.is_set():
+                try:
+                    connection, _ = listener.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                threading.Thread(
+                    target=self._handle_client,
+                    args=(connection,),
+                    name="repro-service-client",
+                    daemon=True,
+                ).start()
+        finally:
+            listener.close()
+            if os.path.exists(self.socket_path):
+                os.unlink(self.socket_path)
+
+    def stop(self) -> None:
+        """Ask ``serve_forever`` to return (idempotent, thread-safe)."""
+        self._stop.set()
+
+    # ------------------------------------------------------------ #
+    # Request handling
+    # ------------------------------------------------------------ #
+    def _handle_client(self, connection: socket.socket) -> None:
+        """Serve request lines on one connection until the client hangs up."""
+        with connection, connection.makefile("rwb") as stream:
+            for line in stream:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    request = json.loads(line)
+                    self._dispatch(request, stream)
+                except (BrokenPipeError, ConnectionResetError):
+                    return
+                except Exception as error:  # noqa: BLE001 — report, keep serving
+                    try:
+                        _send(stream, _error_payload(error))
+                    except OSError:
+                        return
+
+    def _dispatch(self, request: Dict[str, Any], stream) -> None:
+        """Route one request object to its operation."""
+        op = request.get("op")
+        if op == "ping":
+            _send(stream, {"ok": True, "pong": True})
+        elif op == "submit":
+            self._handle_submit(request, stream)
+        elif op == "status":
+            handle = self.service.get(str(request.get("job_id")))
+            _send(stream, {"ok": True, "job": handle.summary()})
+        elif op == "cancel":
+            handle = self.service.get(str(request.get("job_id")))
+            cancelled = handle.cancel()
+            _send(stream, {"ok": True, "cancelled": cancelled, "job": handle.summary()})
+        elif op == "jobs":
+            _send(stream, {"ok": True, "jobs": self.service.jobs()})
+        elif op == "stats":
+            _send(stream, {"ok": True, "stats": self.service.stats()})
+        elif op == "shutdown":
+            _send(stream, {"ok": True, "stopping": True})
+            self.stop()
+        else:
+            _send(
+                stream,
+                {
+                    "ok": False,
+                    "error": {
+                        "type": "UnknownOperation",
+                        "message": f"unknown op {op!r}",
+                    },
+                },
+            )
+
+    def _handle_submit(self, request: Dict[str, Any], stream) -> None:
+        """Queue a sweep; stream its records back unless ``wait`` is false."""
+        sweep = SweepSpec.from_dict(request.get("sweep") or {})
+        handle = self.service.submit(sweep, block=bool(request.get("block", False)))
+        if not request.get("wait", True):
+            _send(stream, {"ok": True, "job": handle.summary()})
+            return
+        try:
+            for record in handle.stream():
+                _send(stream, {"event": "record", "record": record.to_dict()})
+            _send(stream, {"event": "done", "job": handle.summary()})
+        except Exception as error:  # noqa: BLE001 — stream the failure
+            _send(stream, {"event": "error", **_error_payload(error)})
+
+
+def _error_payload(error: BaseException) -> Dict[str, Any]:
+    """The wire form of a server-side exception."""
+    return {
+        "ok": False,
+        "error": {"type": type(error).__name__, "message": str(error)},
+    }
+
+
+def _send(stream, payload: Dict[str, Any]) -> None:
+    """Write one response line and flush it to the client."""
+    stream.write((json.dumps(payload) + "\n").encode("utf-8"))
+    stream.flush()
+
+
+# ------------------------------------------------------------------ #
+# Client helpers (used by the CLI verbs)
+# ------------------------------------------------------------------ #
+def request(
+    socket_path: str,
+    payload: Dict[str, Any],
+    timeout: float = DEFAULT_CLIENT_TIMEOUT,
+) -> Dict[str, Any]:
+    """Send one request; return its single response object.
+
+    Raises :class:`ConnectionError` when no server is listening on
+    ``socket_path`` and :class:`RuntimeError` when the server reports an
+    error response.
+    """
+    for response in _request_lines(socket_path, payload, timeout):
+        if response.get("ok") is False:
+            error = response.get("error") or {}
+            raise RuntimeError(
+                f"server error {error.get('type', 'Error')}: "
+                f"{error.get('message', '')}"
+            )
+        return response
+    raise ConnectionError(f"server at {socket_path} closed without responding")
+
+
+def submit_and_stream(
+    socket_path: str,
+    sweep: Dict[str, Any],
+    timeout: float = DEFAULT_CLIENT_TIMEOUT,
+) -> Iterator[Dict[str, Any]]:
+    """Submit a sweep payload; yield the streamed response objects.
+
+    Yields ``{"event": "record", ...}`` objects as cells finish and finally
+    the ``{"event": "done", "job": ...}`` summary; raises
+    :class:`RuntimeError` if the server streams an error event.
+    """
+    payload = {"op": "submit", "sweep": sweep, "wait": True, "block": True}
+    for response in _request_lines(socket_path, payload, timeout):
+        if response.get("event") == "error" or response.get("ok") is False:
+            error = response.get("error") or {}
+            raise RuntimeError(
+                f"server error {error.get('type', 'Error')}: "
+                f"{error.get('message', '')}"
+            )
+        yield response
+        if response.get("event") == "done":
+            return
+    raise ConnectionError(f"server at {socket_path} closed mid-stream")
+
+
+def _request_lines(
+    socket_path: str, payload: Dict[str, Any], timeout: float
+) -> Iterator[Dict[str, Any]]:
+    """Send one request line; yield each response line as a parsed object."""
+    client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    client.settimeout(timeout)
+    try:
+        client.connect(socket_path)
+    except (FileNotFoundError, ConnectionRefusedError) as error:
+        client.close()
+        raise ConnectionError(
+            f"no repro service listening on {socket_path} "
+            "(start one with `repro serve`)"
+        ) from error
+    with client, client.makefile("rwb") as stream:
+        stream.write((json.dumps(payload) + "\n").encode("utf-8"))
+        stream.flush()
+        for line in stream:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def wait_for_server(
+    socket_path: str, timeout: float = 30.0, interval: float = 0.1
+) -> None:
+    """Block until a server answers ``ping`` on ``socket_path``.
+
+    Used by scripted callers (tests, CI) that start ``repro serve`` as a
+    subprocess and must not race its socket creation.  Raises
+    :class:`TimeoutError` when the deadline passes.
+    """
+    import time
+
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            if request(socket_path, {"op": "ping"}, timeout=interval * 10).get("pong"):
+                return
+        except (ConnectionError, OSError):
+            pass
+        if time.monotonic() > deadline:
+            raise TimeoutError(f"no repro service on {socket_path} after {timeout}s")
+        time.sleep(interval)
+
+
+__all__ = [
+    "ServiceServer",
+    "request",
+    "submit_and_stream",
+    "wait_for_server",
+]

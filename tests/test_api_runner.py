@@ -238,3 +238,76 @@ class TestRunSweep:
         )
         assert len(records) == 1
         assert math.isnan(records[0].attack_cta)
+
+
+class TestFailureRecords:
+    """Round-trips and aggregates for cells that *failed* (satellite of PR 8)."""
+
+    def failed_record(self) -> RunRecord:
+        return RunRecord.from_failure(
+            tiny_attack_spec(),
+            2,
+            {
+                "type": "RuntimeError",
+                "message": "deliberate failure",
+                "traceback": 'Traceback (most recent call last):\n  File "cell.py", '
+                "line 1, in <module>\nRuntimeError: deliberate failure\n",
+            },
+            elapsed=1.25,
+        )
+
+    def test_failed_record_round_trips_through_dict(self):
+        record = self.failed_record()
+        recovered = RunRecord.from_dict(record.to_dict())
+        assert not recovered.ok
+        assert recovered.status == "failed"
+        assert recovered.cell_index == 2
+        assert recovered.spec == record.spec
+        assert recovered.error["type"] == "RuntimeError"
+        assert recovered.error["message"] == "deliberate failure"
+        assert "RuntimeError: deliberate failure" in recovered.error["traceback"]
+        assert recovered.timings == {"cell": 1.25}
+        for name in METRIC_FIELDS:
+            assert math.isnan(getattr(recovered, name))
+
+    def test_failed_record_survives_strict_json(self):
+        """A failed record's jsonl line parses and restores exactly."""
+        import json
+
+        record = self.failed_record()
+        line = json.dumps(record.to_dict())
+        assert "NaN" not in line
+        recovered = RunRecord.from_dict(json.loads(line))
+        assert recovered.error == record.error
+        assert recovered.condensed_hash is None
+
+    def test_merge_cache_stats_of_nothing_is_zeroed(self):
+        """The empty merge: every counter 0, contributors 0 — not a KeyError."""
+        from repro.api.runner import CACHE_COUNTER_KEYS, merge_cache_stats
+
+        merged = merge_cache_stats([])
+        assert merged["contributors"] == 0
+        for key in CACHE_COUNTER_KEYS:
+            assert merged[key] == 0
+
+    def test_all_cells_failing_still_merges_cache_stats(self):
+        """A sweep whose every cell fails (unknown condensers) still returns a
+        SweepRecord with well-formed cache_stats — the empty-merge edge case
+        exercised end to end through the process backend."""
+        from repro.api.runner import CACHE_COUNTER_KEYS
+
+        records = run_sweep(
+            {
+                "base": {"dataset": "tiny", "evaluation": {"overrides": {"epochs": 5}}},
+                "axes": {"condenser": ["no-such-condenser", "also-missing"]},
+                "execution": {"backend": "process", "workers": 2, "on_error": "record"},
+            }
+        )
+        assert len(records) == 2
+        assert len(records.failed) == 2
+        for record in records:
+            assert record.error["type"] == "ConfigurationError"
+            assert "unknown condenser" in record.error["message"]
+        for key in CACHE_COUNTER_KEYS:
+            assert records.cache_stats[key] >= 0
+        assert records.cache_stats["contributors"] >= 1

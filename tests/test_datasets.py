@@ -144,3 +144,16 @@ class TestDatasetSpec:
     def test_spec_records_reference_size(self):
         assert get_spec("reddit").reference_nodes == 232965
         assert get_spec("flickr").reference_nodes == 89250
+
+    def test_reddit_generated_at_reference_scale(self):
+        # Drift check: the reddit stand-in is generated at the full published
+        # Reddit node count — the two columns of the `repro datasets` listing
+        # must agree.  A spec-level check (no 233k generation in tier-1).
+        spec = get_spec("reddit")
+        assert spec.num_nodes == spec.reference_nodes == 232965
+
+    def test_flickr_exceeds_reference_scale(self):
+        # Flickr rounds its 89,250-node reference up to a clean 100k; the
+        # stand-in must never silently shrink below the published size.
+        spec = get_spec("flickr")
+        assert spec.num_nodes >= spec.reference_nodes
