@@ -91,7 +91,12 @@ Claims checked:
    the dense engine pins in full, before transients) while its propagated
    product matches the dense engine at ``atol=1e-10``;
 9. the scaffold-cached generator update is bit-identical to the uncached
-   one and **at least as fast** (≥ 1× — typically well above).
+   one and **at least as fast** (≥ 1× — typically well above);
+10. the ``threaded`` kernel backend's chunked spmm and batched matmul are
+    **bit-identical** to the ``numpy`` reference (always asserted), at
+    least as fast as the reference (≥ 1×, non-smoke — parity is structural
+    on 1-core hosts via the serial fallback), and **≥ 1.3× faster** on
+    hosts with at least 4 usable cores.
 
 Run standalone (CI smoke uses tiny sizes and skips the speedup assertion,
 which is meaningless for graphs that fit in cache lines)::
@@ -186,6 +191,17 @@ SCAFFOLD_SPEEDUP_FLOOR = 1.0
 #: single (N, F) chain materialisation is ~191 MiB on the training view;
 #: 320 MiB proves the step touches neither.
 SAMPLED_RSS_CEILING_MB = 320.0
+#: Parity floor for the threaded kernel backend vs the numpy reference.
+#: Like SCAFFOLD_SPEEDUP_FLOOR this guards against the alternative backend
+#: being a pessimisation — on hosts without spare cores the backend's serial
+#: fallback makes parity structural, with real wins appearing once threads
+#: have cores to run on.
+KERNEL_PARITY_FLOOR = 1.0
+#: Real-speedup floor for the chunked row-parallel spmm, asserted only on
+#: hosts with at least KERNEL_MIN_CORES usable cores — below that a parallel
+#: win is physically impossible and only bit-identity is meaningful.
+KERNEL_SPMM_SPEEDUP_FLOOR = 1.3
+KERNEL_MIN_CORES = 4
 
 
 def _build_graph(smoke: bool) -> GraphData:
@@ -955,6 +971,7 @@ def run_hotpath(smoke: bool = SMOKE, timed_epochs: int = TIMED_EPOCHS) -> Dict[s
     results.update(run_pool_throughput(smoke=smoke))
     results.update(run_blocked_propagation(smoke=smoke))
     results.update(run_sampled_attack_step(smoke=smoke))
+    results.update(run_kernel_backends(smoke=smoke))
     return results
 
 
@@ -1029,6 +1046,72 @@ def run_sampled_attack_step(smoke: bool = SMOKE) -> Dict[str, object]:
         "sampled_flips": len(chosen),
         "sampled_peak_delta_mb": delta_mb,
         "sampled_reference_match": reference_match,
+    }
+
+
+def run_kernel_backends(smoke: bool = SMOKE) -> Dict[str, object]:
+    """Threaded kernel backend vs the numpy reference on hot-path-shaped ops.
+
+    One propagation-shaped spmm (sparse adjacency × dense feature block, the
+    shape every SGC/APPNP hop takes) and one gradient-matching-shaped batched
+    matmul, timed under both backends.  Outputs must be **bit-identical** —
+    the threaded backend chunks rows/batches, which moves work across
+    threads without reordering any per-row accumulation.
+    """
+    import scipy.sparse as sparse
+
+    from repro.kernels import NumpyBackend, ThreadedBackend
+
+    rows, features = (3_000, 32) if smoke else (60_000, 256)
+    matrix = sparse.random(
+        rows, rows, density=8.0 / rows, random_state=7, format="csr"
+    )
+    dense = new_rng(8).normal(size=(rows, features))
+    batch, dim = (48, 24) if smoke else (256, 64)
+    bmm_a = new_rng(9).normal(size=(batch, dim, dim))
+    bmm_b = new_rng(10).normal(size=(batch, dim, dim))
+
+    reference = NumpyBackend()
+    threaded = ThreadedBackend()  # REPRO_KERNEL_THREADS or cpu_count workers
+    reps = 3 if smoke else 7
+
+    def timed(operation) -> float:
+        operation()  # warm-up: BLAS dispatch, pool spin-up, page faults
+        times = []
+        for _ in range(reps):
+            start = time.perf_counter()
+            operation()
+            times.append(time.perf_counter() - start)
+        return median(times)
+
+    spmm_identical = bool(
+        np.array_equal(threaded.spmm(matrix, dense), reference.spmm(matrix, dense))
+    )
+    bmm_identical = bool(
+        np.array_equal(
+            threaded.batched_matmul(bmm_a, bmm_b),
+            reference.batched_matmul(bmm_a, bmm_b),
+        )
+    )
+    spmm_serial = timed(lambda: reference.spmm(matrix, dense))
+    spmm_threaded = timed(lambda: threaded.spmm(matrix, dense))
+    bmm_serial = timed(lambda: reference.batched_matmul(bmm_a, bmm_b))
+    bmm_threaded = timed(lambda: threaded.batched_matmul(bmm_a, bmm_b))
+
+    return {
+        "kernel_rows": rows,
+        "kernel_nnz": int(matrix.nnz),
+        "kernel_features": features,
+        "kernel_workers": threaded.workers,
+        "kernel_cores": _usable_cores(),
+        "kernel_spmm_serial_ms": spmm_serial * 1e3,
+        "kernel_spmm_threaded_ms": spmm_threaded * 1e3,
+        "kernel_spmm_speedup": spmm_serial / spmm_threaded,
+        "kernel_spmm_identical": spmm_identical,
+        "kernel_bmm_serial_ms": bmm_serial * 1e3,
+        "kernel_bmm_threaded_ms": bmm_threaded * 1e3,
+        "kernel_bmm_speedup": bmm_serial / bmm_threaded,
+        "kernel_bmm_identical": bmm_identical,
     }
 
 
@@ -1174,6 +1257,34 @@ def _report(results: Dict[str, float]) -> None:
         f"{'yes' if results['sampled_reference_match'] else 'NO'}"
     )
 
+    print_header(
+        f"Kernel backends: threaded vs numpy reference "
+        f"(spmm {results['kernel_rows']}x{results['kernel_rows']}, "
+        f"nnz={results['kernel_nnz']:,}, F={results['kernel_features']}; "
+        f"{results['kernel_workers']} worker(s), "
+        f"{results['kernel_cores']} usable core(s))"
+    )
+    print(f"{'primitive':<16}{'numpy (ms)':>12}{'threaded (ms)':>14}{'speedup':>10}")
+    for label, serial_key, threaded_key, ratio_key in (
+        ("spmm", "kernel_spmm_serial_ms", "kernel_spmm_threaded_ms", "kernel_spmm_speedup"),
+        ("batched matmul", "kernel_bmm_serial_ms", "kernel_bmm_threaded_ms", "kernel_bmm_speedup"),
+    ):
+        print(
+            f"{label:<16}{results[serial_key]:>12.2f}"
+            f"{results[threaded_key]:>14.2f}{results[ratio_key]:>10.2f}"
+        )
+    print(
+        "outputs bit-identical: "
+        f"spmm {'yes' if results['kernel_spmm_identical'] else 'NO'}, "
+        f"batched matmul {'yes' if results['kernel_bmm_identical'] else 'NO'}"
+    )
+    if results["kernel_cores"] < KERNEL_MIN_CORES:
+        print(
+            f"note: only {results['kernel_cores']} usable core(s) — the "
+            f"{KERNEL_SPMM_SPEEDUP_FLOOR}x spmm floor needs >= "
+            f"{KERNEL_MIN_CORES} and is not asserted on this host"
+        )
+
 
 def _sweep_floor_applies(results: Dict[str, float], smoke: bool) -> bool:
     """Whether the parallel wall-clock floor is meaningful on this host."""
@@ -1183,6 +1294,15 @@ def _sweep_floor_applies(results: Dict[str, float], smoke: bool) -> bool:
 def _pool_floor_applies(results: Dict[str, float], smoke: bool) -> bool:
     """Whether the pool-vs-fork-per-cell floor is meaningful on this host."""
     return not smoke and results["sweep_cores"] >= results["pool_workers"]
+
+
+def _kernel_floor_applies(results: Dict[str, float], smoke: bool) -> bool:
+    """Whether the threaded-spmm real-speedup floor is meaningful here."""
+    return (
+        not smoke
+        and results["kernel_cores"] >= KERNEL_MIN_CORES
+        and results["kernel_workers"] > 1
+    )
 
 
 def test_hotpath_cached_and_incremental_speedup():
@@ -1216,12 +1336,19 @@ def test_hotpath_cached_and_incremental_speedup():
     assert results["sampled_reference_match"], (
         "sampled attacker's covering block diverged from the exhaustive reference"
     )
+    assert results["kernel_spmm_identical"], (
+        "threaded kernel backend's spmm diverged from the numpy reference"
+    )
+    assert results["kernel_bmm_identical"], (
+        "threaded kernel backend's batched matmul diverged from the numpy reference"
+    )
     if not SMOKE:
         assert results["speedup_cached"] >= SPEEDUP_FLOOR, results
         assert results["speedup_incremental"] >= SPEEDUP_FLOOR, results
         assert results["epoch_speedup"] >= EPOCH_SPEEDUP_FLOOR, results
         assert results["view_epoch_speedup"] >= VIEW_EPOCH_SPEEDUP_FLOOR, results
         assert results["scaffold_speedup"] >= SCAFFOLD_SPEEDUP_FLOOR, results
+        assert results["kernel_spmm_speedup"] >= KERNEL_PARITY_FLOOR, results
         assert results["blocked_peak_delta_mb"] <= results["blocked_rss_ceiling_mb"], (
             "blocked condensation epoch exceeded its peak-RSS ceiling: "
             f"{results['blocked_peak_delta_mb']:.1f} MiB > "
@@ -1237,6 +1364,8 @@ def test_hotpath_cached_and_incremental_speedup():
         assert results["sweep_speedup"] >= SWEEP_SPEEDUP_FLOOR, results
     if _pool_floor_applies(results, SMOKE):
         assert results["pool_speedup"] >= POOL_SPEEDUP_FLOOR, results
+    if _kernel_floor_applies(results, SMOKE):
+        assert results["kernel_spmm_speedup"] >= KERNEL_SPMM_SPEEDUP_FLOOR, results
 
 
 if __name__ == "__main__":
@@ -1266,6 +1395,8 @@ if __name__ == "__main__":
         raise SystemExit("scaffold-cache loss bit-identity check FAILED")
     if not outcome["sampled_reference_match"]:
         raise SystemExit("sampled-vs-exhaustive attack equivalence check FAILED")
+    if not (outcome["kernel_spmm_identical"] and outcome["kernel_bmm_identical"]):
+        raise SystemExit("threaded kernel backend bit-identity check FAILED")
     if not (args.smoke or SMOKE):
         if min(outcome["speedup_cached"], outcome["speedup_incremental"]) < SPEEDUP_FLOOR:
             raise SystemExit(f"speedup below {SPEEDUP_FLOOR}x")
@@ -1278,6 +1409,10 @@ if __name__ == "__main__":
         if outcome["scaffold_speedup"] < SCAFFOLD_SPEEDUP_FLOOR:
             raise SystemExit(
                 f"scaffold-cache update speedup below {SCAFFOLD_SPEEDUP_FLOOR}x"
+            )
+        if outcome["kernel_spmm_speedup"] < KERNEL_PARITY_FLOOR:
+            raise SystemExit(
+                f"threaded kernel spmm below the {KERNEL_PARITY_FLOOR}x parity floor"
             )
         if outcome["blocked_peak_delta_mb"] > outcome["blocked_rss_ceiling_mb"]:
             raise SystemExit("blocked propagation exceeded its peak-RSS ceiling")
@@ -1292,4 +1427,9 @@ if __name__ == "__main__":
     if _pool_floor_applies(outcome, args.smoke or SMOKE):
         if outcome["pool_speedup"] < POOL_SPEEDUP_FLOOR:
             raise SystemExit(f"pool-throughput speedup below {POOL_SPEEDUP_FLOOR}x")
+    if _kernel_floor_applies(outcome, args.smoke or SMOKE):
+        if outcome["kernel_spmm_speedup"] < KERNEL_SPMM_SPEEDUP_FLOOR:
+            raise SystemExit(
+                f"threaded kernel spmm speedup below {KERNEL_SPMM_SPEEDUP_FLOOR}x"
+            )
     print("\nhot-path benchmark OK")

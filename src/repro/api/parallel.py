@@ -70,6 +70,7 @@ from repro.graph.blocked import (
 )
 from repro.graph.cache import get_default_cache
 from repro.graph.data import GraphData
+from repro.kernels import set_kernel_backend
 from repro.registry import CONDENSERS
 from repro.utils.logging import get_logger
 
@@ -105,6 +106,7 @@ def _cell_worker(
     warm_payload: Optional[bytes],
     blocked_threshold: Optional[int] = None,
     blocked_scratch_root: Optional[str] = None,
+    kernel_backend: Optional[str] = None,
 ) -> None:
     """Worker entry point: run one cell, ship its record + cache stats back.
 
@@ -121,11 +123,15 @@ def _cell_worker(
     land where the parent's crash/timeout cleanup will look, even if the
     cell mutates ``REPRO_BLOCKED_DIR`` mid-run.  The worker's own blocked
     scratch directory is removed on the way out regardless of outcome.
+    ``kernel_backend`` likewise re-installs the sweep's kernel-backend
+    override for the ``spawn`` path (forked workers inherit it).
     """
     if blocked_scratch_root is not None:
         set_scratch_root(blocked_scratch_root)
     if blocked_threshold is not None:
         set_blocked_threshold(blocked_threshold)
+    if kernel_backend is not None:
+        set_kernel_backend(kernel_backend)
     cache = get_default_cache()
     before = cache_counters(cache.stats())
 
@@ -302,6 +308,7 @@ def run_sweep_process(
                 warm.get(key),
                 execution.blocked_threshold,
                 sweep_scratch_root,
+                execution.kernel_backend,
             ),
             daemon=True,
             name=f"repro-sweep-{sweep.name}-cell-{index}",
@@ -513,6 +520,7 @@ def run_sweep_pool(
         execution.workers,
         timeout=execution.timeout,
         blocked_threshold=execution.blocked_threshold,
+        kernel_backend=execution.kernel_backend,
         name=sweep.name,
     )
     try:

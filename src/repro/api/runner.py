@@ -529,6 +529,10 @@ def run_sweep(
     override is installed for the duration of the sweep (and restored after),
     covering the serial loop, the process-backend handoff and — via ``fork``
     inheritance or an explicit worker argument — every worker process.
+    ``execution.kernel_backend`` is installed the same way (see
+    :func:`repro.kernels.set_kernel_backend`), so every cell — serial,
+    process or pool — dispatches its numerical primitives through the
+    requested backend.
     """
     if not isinstance(sweep, SweepSpec):
         sweep = SweepSpec.from_dict(sweep)
@@ -538,15 +542,28 @@ def run_sweep(
     specs = sweep.expand()
     order = _validated_order(order, len(specs))
 
-    if execution.blocked_threshold is None:
+    if execution.blocked_threshold is None and execution.kernel_backend is None:
         return _run_sweep_cells(sweep, specs, order, execution, on_record)
     from repro.graph.blocked import set_blocked_threshold
+    from repro.kernels import set_kernel_backend
 
-    previous = set_blocked_threshold(execution.blocked_threshold)
+    previous_threshold = (
+        set_blocked_threshold(execution.blocked_threshold)
+        if execution.blocked_threshold is not None
+        else None
+    )
+    previous_kernel = (
+        set_kernel_backend(execution.kernel_backend)
+        if execution.kernel_backend is not None
+        else None
+    )
     try:
         return _run_sweep_cells(sweep, specs, order, execution, on_record)
     finally:
-        set_blocked_threshold(previous)
+        if execution.kernel_backend is not None:
+            set_kernel_backend(previous_kernel)
+        if execution.blocked_threshold is not None:
+            set_blocked_threshold(previous_threshold)
 
 
 def _run_sweep_cells(

@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor, is_grad_enabled, sparse_matmul
 from repro.exceptions import AutogradError
+from repro.kernels import active_backend
 
 __all__ = [
     "relu",
@@ -104,8 +105,22 @@ def nll_loss(log_probs: Tensor, labels: np.ndarray, weights: Optional[np.ndarray
     weights:
         Optional per-example weights of shape ``(n,)``; defaults to uniform.
     """
+    weighted_targets = _weighted_targets(log_probs.shape, labels, weights)
+    picked = log_probs * Tensor(weighted_targets)
+    return -picked.sum()
+
+
+def _weighted_targets(
+    shape, labels: np.ndarray, weights: Optional[np.ndarray]
+) -> np.ndarray:
+    """One-hot targets scaled by normalised per-example weights.
+
+    Shared by the unfused :func:`nll_loss` and the fused
+    :func:`cross_entropy` so the two paths validate and normalise
+    identically (bit for bit).
+    """
     labels = np.asarray(labels, dtype=np.int64)
-    n, num_classes = log_probs.shape
+    n, num_classes = shape
     if labels.shape[0] != n:
         raise AutogradError(
             f"labels length {labels.shape[0]} does not match batch size {n}"
@@ -119,16 +134,34 @@ def nll_loss(log_probs: Tensor, labels: np.ndarray, weights: Optional[np.ndarray
         if total <= 0:
             raise AutogradError("weights must sum to a positive value")
         weights = weights / total
-    weighted_targets = targets * weights[:, None]
-    picked = log_probs * Tensor(weighted_targets)
-    return -picked.sum()
+    return targets * weights[:, None]
 
 
 def cross_entropy(
     logits: Tensor, labels: np.ndarray, weights: Optional[np.ndarray] = None
 ) -> Tensor:
-    """Softmax cross-entropy between ``logits`` and integer ``labels``."""
-    return nll_loss(log_softmax(logits, axis=-1), labels, weights=weights)
+    """Softmax cross-entropy between ``logits`` and integer ``labels``.
+
+    Runs the kernel backend's fused ``softmax_xent`` pass — one traversal
+    for the loss and the saved probabilities instead of the
+    ``nll_loss(log_softmax(...))`` chain's four tensor nodes.  The fused
+    kernels replay the chain's operation order exactly, so loss and
+    gradients stay bit-identical to the unfused composition (asserted in
+    ``tests/test_kernel_conformance.py``).
+    """
+    if logits.ndim != 2:
+        raise AutogradError(
+            f"cross_entropy expects (n, C) logits, got shape {logits.shape}"
+        )
+    weighted_targets = _weighted_targets(logits.shape, labels, weights)
+    loss, probs = active_backend().softmax_xent(logits.data, weighted_targets)
+
+    def vjp(g: np.ndarray) -> np.ndarray:
+        return active_backend().softmax_xent_grad(g, probs, weighted_targets)
+
+    if not is_grad_enabled() or not logits.requires_grad:
+        return Tensor(loss, requires_grad=False)
+    return Tensor(loss, requires_grad=True, parents=[(logits, vjp)])
 
 
 def mse_loss(prediction: Tensor, target: np.ndarray) -> Tensor:
@@ -165,7 +198,7 @@ def transpose_last2(x: Tensor) -> Tensor:
     """
     if x.ndim < 2:
         raise AutogradError(f"transpose_last2 expects ndim >= 2, got shape {x.shape}")
-    out_data = np.swapaxes(x.data, -1, -2).copy()
+    out_data = active_backend().transpose_last2(x.data)
 
     def vjp(g: np.ndarray) -> np.ndarray:
         return np.swapaxes(g, -1, -2)
@@ -192,10 +225,10 @@ def batched_matmul(a: Tensor, b: Tensor) -> Tensor:
             f"batched_matmul shapes incompatible: {a.shape} and {b.shape}"
         )
     a_data, b_data = a.data, b.data
-    out_data = np.matmul(a_data, b_data)
+    out_data = active_backend().batched_matmul(a_data, b_data)
     parents = [
-        (a, lambda g: np.matmul(g, np.swapaxes(b_data, -1, -2))),
-        (b, lambda g: np.matmul(np.swapaxes(a_data, -1, -2), g)),
+        (a, lambda g: active_backend().batched_matmul(g, np.swapaxes(b_data, -1, -2))),
+        (b, lambda g: active_backend().batched_matmul(np.swapaxes(a_data, -1, -2), g)),
     ]
     requires = a.requires_grad or b.requires_grad
     if not is_grad_enabled() or not requires:
@@ -262,8 +295,7 @@ def embed_blocks(base: np.ndarray, blocks: Tensor, row_start: int, col_start: in
         raise AutogradError(
             f"block ({t}, {s}) at ({row_start}, {col_start}) exceeds base {base.shape}"
         )
-    out_data = base.copy()
-    out_data[:, rows, cols] = blocks.data
+    out_data = active_backend().embed_blocks(base, blocks.data, row_start, col_start)
 
     def vjp(g: np.ndarray) -> np.ndarray:
         return g[:, rows, cols]

@@ -20,6 +20,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.exceptions import AutogradError
+from repro.kernels import active_backend
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
@@ -231,11 +232,11 @@ class Tensor:
             raise AutogradError(
                 f"matmul expects 2-D operands, got {self.shape} and {other.shape}"
             )
-        out_data = self.data @ other.data
+        out_data = active_backend().matmul(self.data, other.data)
         a_data, b_data = self.data, other.data
         parents = [
-            (self, lambda g: g @ b_data.T),
-            (other, lambda g: a_data.T @ g),
+            (self, lambda g: active_backend().matmul(g, b_data.T)),
+            (other, lambda g: active_backend().matmul(a_data.T, g)),
         ]
         return self._make(out_data, parents)
 
@@ -340,12 +341,7 @@ class Tensor:
         unique_rows = idx.size < 2 or bool(np.all(np.diff(idx) > 0))
 
         def vjp(g: np.ndarray) -> np.ndarray:
-            full = np.zeros(shape, dtype=np.float64)
-            if unique_rows:
-                full[idx] = g
-            else:
-                np.add.at(full, idx, g)
-            return full
+            return active_backend().scatter_add_rows(shape, idx, g, unique_rows)
 
         return self._make(out_data, [(self, vjp)])
 
@@ -478,9 +474,9 @@ def sparse_matmul(matrix: sp.spmatrix, tensor: Tensor) -> Tensor:
     if not sp.issparse(matrix):
         raise AutogradError("sparse_matmul expects a scipy sparse matrix as first operand")
     csr = matrix.tocsr()
-    out_data = csr @ tensor.data
+    out_data = active_backend().spmm(csr, tensor.data)
     transposed = csr.T.tocsr()
-    parents = [(tensor, lambda g: transposed @ g)]
+    parents = [(tensor, lambda g: active_backend().spmm(transposed, g))]
     if not is_grad_enabled() or not tensor.requires_grad:
         return Tensor(out_data, requires_grad=False)
     return Tensor(out_data, requires_grad=True, parents=parents)

@@ -57,8 +57,9 @@ from repro.api import (
 )
 from repro.api.spec import EXECUTION_BACKENDS, ON_ERROR_MODES
 from repro.datasets import list_datasets, statistics_table
-from repro.exceptions import GraphValidationError
+from repro.exceptions import ConfigurationError, GraphValidationError
 from repro.graph.blocked import blocked_threshold
+from repro.kernels import available_kernel_backends, kernel_backend_name
 from repro.registry import CONDENSERS
 from repro.evaluation.reporting import format_percent, format_table, sweep_summary_line
 from repro.utils.logging import enable_console_logging
@@ -510,13 +511,35 @@ def _validate_blocked_environment() -> str | None:
     return None
 
 
+def _validate_kernel_environment() -> str | None:
+    """Eagerly resolve ``REPRO_KERNEL_BACKEND``; return an error message.
+
+    Same rationale as :func:`_validate_blocked_environment`: an unknown
+    backend name would otherwise surface as a ``ConfigurationError``
+    traceback out of the first dispatched primitive, deep inside a run.
+    """
+    try:
+        kernel_backend_name()
+    except ConfigurationError as error:
+        return (
+            f"error: {error}\n"
+            "hint: REPRO_KERNEL_BACKEND selects the numerical kernel backend "
+            "every primitive dispatches through — set it to one of "
+            f"{', '.join(available_kernel_backends())}, or unset it to use "
+            "the numpy reference."
+        )
+    return None
+
+
 def main(argv: List[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     if getattr(args, "verbose", False):
         enable_console_logging()
-    environment_error = _validate_blocked_environment()
+    environment_error = (
+        _validate_blocked_environment() or _validate_kernel_environment()
+    )
     if environment_error is not None:
         print(environment_error, file=sys.stderr)
         return 2

@@ -43,6 +43,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.exceptions import GraphValidationError
+from repro.kernels import active_backend
 
 __all__ = [
     "DEFAULT_BLOCKED_THRESHOLD",
@@ -585,7 +586,7 @@ def blocked_spmm(
             tile = _gather_source_rows(
                 source, referenced, slice(col_start, col_stop)
             )
-            result[:, col_start:col_stop] = compressed @ tile
+            result[:, col_start:col_stop] = active_backend().spmm(compressed, tile)
         out.write_rows(start, result)
     return out
 

@@ -18,6 +18,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.exceptions import GraphValidationError
+from repro.kernels import active_backend
 
 
 def add_self_loops(adjacency: sp.spmatrix, weight: float = 1.0) -> sp.csr_matrix:
@@ -39,8 +40,9 @@ def gcn_normalize(adjacency: sp.spmatrix, add_loops: bool = True) -> sp.csr_matr
     inv_sqrt = np.zeros_like(degrees)
     nonzero = degrees > 0
     inv_sqrt[nonzero] = 1.0 / np.sqrt(degrees[nonzero])
-    d_inv_sqrt = sp.diags(inv_sqrt)
-    return (d_inv_sqrt @ matrix @ d_inv_sqrt).tocsr()
+    # diag(inv_sqrt) @ matrix @ diag(inv_sqrt) as one data-array pass over
+    # the CSR arrays — bit-identical to the sparse diagonal products.
+    return active_backend().scale_csr(matrix, inv_sqrt, inv_sqrt)
 
 
 def self_loop_degrees(adjacency: sp.spmatrix) -> np.ndarray:
@@ -157,7 +159,12 @@ def incremental_gcn_normalize(
     )
     seed = (seed + loops).tocsr()
     seed_row_of = np.repeat(np.arange(seed_rows.size), np.diff(seed.indptr))
-    seed_data = seed.data * inv_sqrt[seed_rows[seed_row_of]] * inv_sqrt[seed.indices]
+    backend = active_backend()
+    seed_data = backend.gather_scale(
+        backend.gather_scale(seed.data, seed_rows[seed_row_of], inv_sqrt),
+        seed.indices,
+        inv_sqrt,
+    )
 
     # Row splice: unchanged base rows + seed rows into one preallocated CSR.
     in_seed = np.zeros(n_total, dtype=bool)
@@ -181,7 +188,7 @@ def incremental_gcn_normalize(
         dest = kept - base_indptr[kept_rows] + indptr[kept_rows]
         kept_cols = base_normalized.indices[kept]
         indices[dest] = kept_cols
-        data[dest] = base_normalized.data[kept] * ratio[kept_cols]
+        data[dest] = backend.gather_scale(base_normalized.data[kept], kept_cols, ratio)
     if seed.nnz:
         seed_indptr = seed.indptr.astype(np.int64)
         dest = (

@@ -41,6 +41,7 @@ import scipy.sparse as sp
 
 from repro.exceptions import GraphValidationError
 from repro.graph.normalize import gcn_normalize, symmetric_laplacian
+from repro.kernels import active_backend
 
 
 def sgc_precompute(
@@ -51,8 +52,9 @@ def sgc_precompute(
         raise GraphValidationError(f"num_hops must be non-negative, got {num_hops}")
     normalized = gcn_normalize(adjacency)
     propagated = np.asarray(features, dtype=np.float64)
+    backend = active_backend()
     for _ in range(num_hops):
-        propagated = normalized @ propagated
+        propagated = backend.spmm(normalized, propagated)
     return propagated
 
 
@@ -68,8 +70,9 @@ def sgc_precompute_hops(
     if num_hops < 0:
         raise GraphValidationError(f"num_hops must be non-negative, got {num_hops}")
     hops = [np.asarray(features, dtype=np.float64)]
+    backend = active_backend()
     for _ in range(num_hops):
-        hops.append(normalized @ hops[-1])
+        hops.append(backend.spmm(normalized, hops[-1]))
     return hops
 
 
@@ -91,7 +94,7 @@ def reachable_rows(
         return mask.copy()
     indicator = mask.astype(np.float64)
     magnitude = operator if nonnegative else abs(operator)
-    reached = np.asarray(magnitude @ indicator).reshape(-1)
+    reached = np.asarray(active_backend().spmm(magnitude, indicator)).reshape(-1)
     return mask | (reached > 0.0)
 
 
@@ -109,12 +112,13 @@ def _matmul_hop_product(matrix: sp.spmatrix, product) -> np.ndarray:
     """
     from repro.graph.blocked import BlockedArray
 
+    backend = active_backend()
     if not isinstance(product, BlockedArray):
-        return matrix @ product
+        return backend.spmm(matrix, product)
     matrix = matrix.tocsc()
     out: Optional[np.ndarray] = None
     for start, stop, block in product.blocks():
-        term = matrix[:, start:stop] @ np.asarray(block)
+        term = backend.spmm(matrix[:, start:stop], np.asarray(block))
         out = term if out is None else out + term
     if out is None:  # zero-row product
         out = np.zeros((matrix.shape[0], product.shape[1]), dtype=np.float64)
@@ -208,7 +212,7 @@ def incremental_sgc_delta(
         # Â'[D_k, :N] · H_{k-1}  +  Â'[D_k, D_{k-1}] · E_{k-1}
         values = _matmul_hop_product(sliced[:, :n_base], base_hops[hop - 1])
         if previous_rows.size:
-            values += sliced[:, previous_rows] @ previous_delta
+            values += active_backend().spmm(sliced[:, previous_rows], previous_delta)
         if hop < num_hops:
             # The final hop's difference form is never read — only its
             # materialised rows are — so skip the dirty-block copy there.
@@ -326,8 +330,9 @@ def appnp_propagate(
     normalized = gcn_normalize(adjacency)
     base = np.asarray(predictions, dtype=np.float64)
     state = base.copy()
+    backend = active_backend()
     for _ in range(num_iterations):
-        state = (1.0 - teleport) * (normalized @ state) + teleport * base
+        state = (1.0 - teleport) * backend.spmm(normalized, state) + teleport * base
     return state
 
 
@@ -347,10 +352,11 @@ def chebyshev_polynomials(
     rescaled = (laplacian - sp.eye(n, format="csr")).tocsr()
 
     polynomials = [features]
+    backend = active_backend()
     if order >= 1:
-        polynomials.append(rescaled @ features)
+        polynomials.append(backend.spmm(rescaled, features))
     for _ in range(2, order + 1):
-        next_term = 2.0 * (rescaled @ polynomials[-1]) - polynomials[-2]
+        next_term = 2.0 * backend.spmm(rescaled, polynomials[-1]) - polynomials[-2]
         polynomials.append(next_term)
     return polynomials
 
@@ -363,6 +369,7 @@ def dense_sgc_precompute(
 
     normalized = dense_gcn_normalize(adjacency)
     propagated = np.asarray(features, dtype=np.float64)
+    backend = active_backend()
     for _ in range(num_hops):
-        propagated = normalized @ propagated
+        propagated = backend.matmul(normalized, propagated)
     return propagated

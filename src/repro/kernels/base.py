@@ -1,0 +1,174 @@
+"""The :class:`KernelBackend` protocol — every hot primitive in one place.
+
+A backend is a stateless (or internally-synchronised) object implementing
+the dozen numerical primitives the autograd and graph layers bottom out in.
+The contract is *value* compatibility with :class:`~repro.kernels.numpy_backend.NumpyBackend`,
+the pinned reference implementation:
+
+* **bit-identical** results wherever the primitive fixes a unique
+  floating-point evaluation order (``spmm`` per output row, ``gather_scale``,
+  ``scale_csr``, ``transpose_last2``, ``embed_blocks``, ``scatter_add_rows``
+  with unique indices, ``batched_matmul`` per matrix);
+* otherwise (reductions whose order a backend may legitimately reorder)
+  within ``atol <= 1e-10`` of the reference.
+
+``tests/test_kernel_conformance.py`` runs every registered backend against
+the reference on a shared grid of shapes and edge cases; a backend that
+cannot meet the contract must not register itself.
+
+Primitives
+----------
+========================  ====================================================
+``spmm``                  sparse ``(n, m)`` CSR/CSC × dense ``(m, f)`` (or
+                          ``(m,)``) product — graph propagation, the single
+                          hottest call in the repo (also used per CSR row
+                          block by the blocked out-of-core engine)
+``matmul``                dense 2-D ``(n, k) @ (k, m)``
+``batched_matmul``        dense 3-D ``(B, n, k) @ (B, k, m)``
+``transpose_last2``       contiguous copy of ``swapaxes(x, -1, -2)``
+``embed_blocks``          scatter a ``(B, t, s)`` block stack into a copy of
+                          a constant ``(B, m, n)`` base
+``scatter_add_rows``      row scatter-(add) of ``(k, f)`` values into a
+                          zeroed ``shape`` array — the segment reduction
+                          behind ``Tensor.index_rows``'s backward pass
+``gather_scale``          ``data * scale[index]`` — the degree-ratio fix-up
+                          of the incremental normalisation splice
+``scale_csr``             ``diag(row_scale) @ M @ diag(col_scale)`` on CSR
+                          data — the two diagonal products of
+                          ``gcn_normalize``
+``softmax_xent``          fused softmax + cross-entropy forward: loss and
+                          probabilities in one pass
+``softmax_xent_grad``     matching backward: d(loss)/d(logits) given the
+                          upstream gradient
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+
+class KernelBackend:
+    """Abstract kernel backend: subclasses implement the primitives below.
+
+    Implementations must be safe to share across calls from one thread
+    (the autograd tape is single-threaded) and must tolerate being used
+    after a ``fork`` — the sweep executors fork worker processes that keep
+    dispatching through whatever backend instance they inherited.
+    """
+
+    #: Registry name of the backend (subclasses override).
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------ #
+    # Sparse propagation
+    # ------------------------------------------------------------------ #
+    def spmm(self, matrix: sp.spmatrix, dense: np.ndarray) -> np.ndarray:
+        """``matrix @ dense`` for a constant sparse operand.
+
+        ``dense`` is ``(m, f)`` or ``(m,)``; the result matches scipy's
+        product bit for bit in every row (per-row accumulation runs in
+        stored-index order whatever the backend does across rows).
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Dense products
+    # ------------------------------------------------------------------ #
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Dense 2-D matrix product ``a @ b``."""
+        raise NotImplementedError
+
+    def batched_matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Dense batched product ``(B, n, k) @ (B, k, m) -> (B, n, m)``."""
+        raise NotImplementedError
+
+    def transpose_last2(self, x: np.ndarray) -> np.ndarray:
+        """Contiguous copy of ``x`` with its last two axes swapped."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Scatter / gather
+    # ------------------------------------------------------------------ #
+    def embed_blocks(
+        self, base: np.ndarray, blocks: np.ndarray, row_start: int, col_start: int
+    ) -> np.ndarray:
+        """Copy ``base`` and write ``blocks`` at ``[:, rows, cols]``.
+
+        ``base`` is ``(B, m, n)``, ``blocks`` is ``(B, t, s)``; bounds are
+        the caller's responsibility (validated in the autograd wrapper).
+        """
+        raise NotImplementedError
+
+    def scatter_add_rows(
+        self,
+        shape: Tuple[int, ...],
+        index: np.ndarray,
+        values: np.ndarray,
+        unique: bool,
+    ) -> np.ndarray:
+        """Zeros of ``shape`` with ``values`` scattered into rows ``index``.
+
+        ``unique=True`` asserts the indices are duplicate-free, allowing
+        plain fancy assignment; otherwise duplicate rows must *accumulate*
+        (the segment-sum semantics of ``np.add.at``).
+        """
+        raise NotImplementedError
+
+    def gather_scale(
+        self, data: np.ndarray, index: np.ndarray, scale: np.ndarray
+    ) -> np.ndarray:
+        """Elementwise ``data * scale[index]`` (1-D ``data`` and ``index``)."""
+        raise NotImplementedError
+
+    def scale_csr(
+        self,
+        matrix: sp.csr_matrix,
+        row_scale: np.ndarray,
+        col_scale: np.ndarray,
+    ) -> sp.csr_matrix:
+        """``diag(row_scale) @ matrix @ diag(col_scale)`` as canonical CSR.
+
+        Entry ``(i, j)`` becomes ``(matrix[i, j] * row_scale[i]) *
+        col_scale[j]`` — multiplication in exactly that order, which is what
+        scipy's two diagonal products evaluate, so the reference is
+        bit-identical to the expression it replaced.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Fused loss
+    # ------------------------------------------------------------------ #
+    def softmax_xent(
+        self, logits: np.ndarray, weighted_targets: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Fused softmax cross-entropy forward pass.
+
+        Returns ``(loss, probs)`` where ``loss`` is the scalar
+        ``-(log_softmax(logits) * weighted_targets).sum()`` and ``probs``
+        the softmax probabilities (saved for the backward pass).  The
+        evaluation order must match the unfused
+        ``nll_loss(log_softmax(...))`` composition so the fused path is
+        bit-identical to the reference chain.
+        """
+        raise NotImplementedError
+
+    def softmax_xent_grad(
+        self,
+        upstream: np.ndarray,
+        probs: np.ndarray,
+        weighted_targets: np.ndarray,
+    ) -> np.ndarray:
+        """d(loss)/d(logits) for :meth:`softmax_xent` given ``upstream``.
+
+        Must evaluate the same chain-rule expression the unfused composition
+        runs (negate → broadcast → multiply by targets → log-softmax vjp),
+        keeping the fused loss's gradients bit-identical to the reference.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,118 @@
+"""The reference kernel backend: plain numpy/scipy, pinned expressions.
+
+Every method body is the exact expression that used to live inline at the
+call sites in :mod:`repro.autograd` and :mod:`repro.graph` before the
+kernels extraction — same operations, same order — so routing through this
+backend is bit-identical to the pre-refactor code.  Accelerated backends are
+tested against it (``tests/test_kernel_conformance.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.kernels.base import KernelBackend
+
+
+class NumpyBackend(KernelBackend):
+    """Single-threaded numpy/scipy implementation — the conformance reference."""
+
+    name = "numpy"
+
+    def spmm(self, matrix: sp.spmatrix, dense: np.ndarray) -> np.ndarray:
+        """``matrix @ dense`` through scipy's native sparse product."""
+        return matrix @ dense
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """``a @ b`` through numpy (BLAS gemm)."""
+        return a @ b
+
+    def batched_matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """``np.matmul`` over the shared leading batch axis."""
+        return np.matmul(a, b)
+
+    def transpose_last2(self, x: np.ndarray) -> np.ndarray:
+        """``swapaxes(-1, -2)`` materialised into a contiguous copy."""
+        return np.swapaxes(x, -1, -2).copy()
+
+    def embed_blocks(
+        self, base: np.ndarray, blocks: np.ndarray, row_start: int, col_start: int
+    ) -> np.ndarray:
+        out = base.copy()
+        out[
+            :,
+            row_start : row_start + blocks.shape[1],
+            col_start : col_start + blocks.shape[2],
+        ] = blocks
+        return out
+
+    def scatter_add_rows(
+        self,
+        shape: Tuple[int, ...],
+        index: np.ndarray,
+        values: np.ndarray,
+        unique: bool,
+    ) -> np.ndarray:
+        full = np.zeros(shape, dtype=np.float64)
+        if unique:
+            full[index] = values
+        else:
+            np.add.at(full, index, values)
+        return full
+
+    def gather_scale(
+        self, data: np.ndarray, index: np.ndarray, scale: np.ndarray
+    ) -> np.ndarray:
+        return data * scale[index]
+
+    def scale_csr(
+        self,
+        matrix: sp.csr_matrix,
+        row_scale: np.ndarray,
+        col_scale: np.ndarray,
+    ) -> sp.csr_matrix:
+        # (data * row_scale[i]) * col_scale[j] in that order — the exact
+        # value chain of scipy's diag @ M @ diag (multiplication of two
+        # floats is commutative bit for bit, and the grouping matches).
+        matrix = matrix.tocsr()
+        row_of = np.repeat(
+            np.arange(matrix.shape[0]), np.diff(matrix.indptr)
+        )
+        data = (matrix.data * row_scale[row_of]) * col_scale[matrix.indices]
+        result = sp.csr_matrix(
+            (data, matrix.indices.copy(), matrix.indptr.copy()), shape=matrix.shape
+        )
+        result.has_canonical_format = matrix.has_canonical_format
+        return result
+
+    def softmax_xent(
+        self, logits: np.ndarray, weighted_targets: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        # Mirrors log_softmax + nll_loss step for step: shifted → exp →
+        # denom → log_probs → picked → -(sum).  Keeping the order makes the
+        # fused loss bit-identical to the unfused reference chain.
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        denom = exp.sum(axis=-1, keepdims=True)
+        log_probs = shifted - np.log(denom)
+        probs = exp / denom
+        picked = log_probs * weighted_targets
+        loss = -(picked.sum())
+        return np.asarray(loss, dtype=np.float64), probs
+
+    def softmax_xent_grad(
+        self,
+        upstream: np.ndarray,
+        probs: np.ndarray,
+        weighted_targets: np.ndarray,
+    ) -> np.ndarray:
+        # The unfused chain's backward pass, replayed exactly: neg vjp
+        # (-g), sum vjp (broadcast), mul vjp (× targets), log-softmax vjp.
+        flow = np.broadcast_to(
+            np.asarray(-upstream, dtype=np.float64), weighted_targets.shape
+        ).copy()
+        flow = flow * weighted_targets
+        return flow - probs * flow.sum(axis=-1, keepdims=True)

@@ -219,8 +219,8 @@ class CondensationService:
     root, else in-memory).  ``max_pending`` bounds the job queue —
     :meth:`submit` on a full queue raises
     :class:`~repro.exceptions.JobQueueFull` unless asked to block.
-    ``timeout`` and ``blocked_threshold`` are forwarded to the pool as the
-    per-cell defaults.
+    ``timeout``, ``blocked_threshold`` and ``kernel_backend`` are forwarded
+    to the pool as the per-cell defaults.
 
     The service is a context manager::
 
@@ -239,6 +239,7 @@ class CondensationService:
         recycle_after: Optional[int] = DEFAULT_RECYCLE_AFTER,
         timeout: Optional[float] = None,
         blocked_threshold: Optional[int] = None,
+        kernel_backend: Optional[str] = None,
     ) -> None:
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
@@ -248,6 +249,7 @@ class CondensationService:
             recycle_after=recycle_after,
             timeout=timeout,
             blocked_threshold=blocked_threshold,
+            kernel_backend=kernel_backend,
             name="service",
         )
         self._queue: "queue.Queue" = queue.Queue(maxsize=max_pending)

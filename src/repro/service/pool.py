@@ -69,6 +69,7 @@ from repro.graph.blocked import (
 )
 from repro.graph.cache import get_default_cache
 from repro.graph.data import GraphData
+from repro.kernels import kernel_backend_name, set_kernel_backend
 from repro.utils.logging import get_logger
 
 logger = get_logger("service.pool")
@@ -90,7 +91,8 @@ def _pool_worker_main(
     """Long-lived worker loop: receive cells, run them, ship records back.
 
     Messages from the parent are ``("run", task_id, spec, cell_index,
-    dataset_key, graph, warm_payload, blocked_threshold)`` or ``("stop",)``.
+    dataset_key, graph, warm_payload, blocked_threshold, kernel_backend)``
+    or ``("stop",)``.
     Every run is answered with ``("ok", task_id, record_dict, stats_delta)``
     or ``("error", task_id, error_info, stats_delta)`` — an exception is a
     reported result, never a dead worker, so the parent can tell a failing
@@ -107,6 +109,7 @@ def _pool_worker_main(
     cache = get_default_cache()
     warmed: set = set()
     applied_threshold: Optional[int] = None
+    applied_kernel: Optional[str] = None
     try:
         while True:
             try:
@@ -124,10 +127,14 @@ def _pool_worker_main(
                 graph,
                 warm_payload,
                 threshold,
+                kernel,
             ) = message
             if threshold is not None and threshold != applied_threshold:
                 set_blocked_threshold(threshold)
                 applied_threshold = threshold
+            if kernel is not None and kernel != applied_kernel:
+                set_kernel_backend(kernel)
+                applied_kernel = kernel
             before = cache_counters(cache.stats())
 
             def stats_delta() -> Dict[str, int]:
@@ -200,7 +207,8 @@ class WorkerPool:
     the default per-cell wall-clock budget (overridable per submit);
     ``blocked_threshold`` pins the blocked-propagation threshold applied in
     every worker (``None`` resolves the parent's current effective value at
-    dispatch, so workers and parent agree even when jobs differ).
+    dispatch, so workers and parent agree even when jobs differ);
+    ``kernel_backend`` pins the :mod:`repro.kernels` backend the same way.
 
     The pool is a context manager::
 
@@ -218,6 +226,7 @@ class WorkerPool:
         recycle_after: Optional[int] = DEFAULT_RECYCLE_AFTER,
         timeout: Optional[float] = None,
         blocked_threshold: Optional[int] = None,
+        kernel_backend: Optional[str] = None,
         name: str = "pool",
     ) -> None:
         if workers < 1:
@@ -228,6 +237,7 @@ class WorkerPool:
         self.recycle_after = recycle_after
         self.timeout = timeout
         self.blocked_threshold = blocked_threshold
+        self.kernel_backend = kernel_backend
         self.name = name
         self._context = None
         self._slots: List[Optional[_WorkerSlot]] = []
@@ -476,6 +486,7 @@ class WorkerPool:
                         graph,
                         warm,
                         self._effective_threshold(),
+                        self._effective_kernel_backend(),
                     )
                 )
             except (BrokenPipeError, OSError):
@@ -502,6 +513,20 @@ class WorkerPool:
 
         try:
             return blocked_threshold()
+        except Exception:  # noqa: BLE001 — malformed env: let the worker raise
+            return None
+
+    def _effective_kernel_backend(self) -> Optional[str]:
+        """The kernel backend every worker should dispatch through.
+
+        Mirrors :meth:`_effective_threshold`: a concrete pool-level setting
+        wins; otherwise the parent's current effective backend is resolved
+        at dispatch time, so long-lived workers track the parent.
+        """
+        if self.kernel_backend is not None:
+            return self.kernel_backend
+        try:
+            return kernel_backend_name()
         except Exception:  # noqa: BLE001 — malformed env: let the worker raise
             return None
 

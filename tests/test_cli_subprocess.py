@@ -193,3 +193,33 @@ class TestBlockedEnvironmentValidation:
         monkeypatch.setenv("REPRO_BLOCKED_THRESHOLD", "16777216")
         result = run_cli("datasets")
         assert result.returncode == 0, result.stderr
+
+
+class TestKernelEnvironmentValidation:
+    """An unknown REPRO_KERNEL_BACKEND fails fast with one actionable line.
+
+    Same contract as the blocked-threshold knob: the name is validated up
+    front in ``main()``, so a typo exits 2 listing the registered backends
+    instead of raising a ConfigurationError traceback out of the first
+    kernel dispatch mid-run.
+    """
+
+    def test_unknown_backend_exits_2_listing_registered(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "banana")
+        result = run_cli("datasets")
+        assert result.returncode == 2
+        assert "unknown kernel backend 'banana'" in result.stderr
+        assert "numpy" in result.stderr
+        assert "threaded" in result.stderr
+        assert "hint:" in result.stderr
+        assert "Traceback" not in result.stderr
+
+    def test_registered_backend_is_accepted(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "threaded")
+        result = run_cli("datasets")
+        assert result.returncode == 0, result.stderr
+
+    def test_whitespace_name_is_stripped(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "  numpy  ")
+        result = run_cli("datasets")
+        assert result.returncode == 0, result.stderr

@@ -84,6 +84,23 @@ class TestRegistryContract:
             f"{missing} — update the registry table"
         )
 
+    def test_every_kernel_backend_is_documented(self):
+        from repro.kernels import KERNEL_BACKEND_ENV, available_kernel_backends
+
+        api_text = _doc_text("api.md")
+        missing = [
+            name
+            for name in available_kernel_backends()
+            if f"`{name}`" not in api_text
+        ]
+        assert not missing, (
+            "registered kernel backends missing from docs/api.md: "
+            f"{missing} — update the kernel-backend table"
+        )
+        # The env-var table claims completeness; the kernel knobs belong in it.
+        assert f"`{KERNEL_BACKEND_ENV}`" in api_text
+        assert "`REPRO_KERNEL_THREADS`" in api_text
+
 
 class TestJsonBlocks:
     def _all_json_blocks(self):

@@ -110,3 +110,112 @@ class TestSelectionScoreProperties:
         score_low = distance + balance * low_degree
         score_high = distance + balance * high_degree
         assert score_high >= score_low
+
+
+class TestKernelBackendProperties:
+    """Algebraic invariants every kernel backend must satisfy.
+
+    Shapes are drawn by hypothesis; each property is checked for every
+    registered backend plus a forced-parallel :class:`ThreadedBackend`
+    (the registered ``threaded`` singleton serialises on 1-core hosts).
+    Linearity holds to float tolerance only — the reference itself
+    reassociates ``A(x+y)`` vs ``Ax+Ay`` — while structural properties
+    (identity no-op, transpose involution) are exact.
+    """
+
+    @staticmethod
+    def _backends():
+        from repro.kernels import (
+            ThreadedBackend,
+            active_backend,
+            available_kernel_backends,
+            set_kernel_backend,
+        )
+
+        instances = []
+        for name in available_kernel_backends():
+            previous = set_kernel_backend(name)
+            try:
+                instances.append(active_backend())
+            finally:
+                set_kernel_backend(previous)
+        instances.append(ThreadedBackend(workers=3))
+        return instances
+
+    @given(
+        n=st.integers(min_value=1, max_value=12),
+        f=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_spmm_is_linear(self, n, f, seed):
+        import scipy.sparse as sp
+
+        generator = new_rng(seed)
+        dense_a = generator.normal(size=(n, n))
+        dense_a[generator.random((n, n)) < 0.5] = 0.0
+        matrix = sp.csr_matrix(dense_a)
+        x = generator.normal(size=(n, f))
+        y = generator.normal(size=(n, f))
+        alpha = float(generator.normal())
+        for backend in self._backends():
+            combined = backend.spmm(matrix, x + alpha * y)
+            separate = backend.spmm(matrix, x) + alpha * backend.spmm(matrix, y)
+            np.testing.assert_allclose(combined, separate, atol=1e-10)
+
+    @given(
+        n=st.integers(min_value=1, max_value=12),
+        f=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_identity_adjacency_is_noop(self, n, f, seed):
+        import scipy.sparse as sp
+
+        generator = new_rng(seed)
+        x = generator.normal(size=(n, f))
+        identity = sp.eye(n, format="csr")
+        for backend in self._backends():
+            np.testing.assert_array_equal(backend.spmm(identity, x), x)
+
+    @given(
+        batch=st.integers(min_value=1, max_value=5),
+        n=st.integers(min_value=1, max_value=6),
+        k=st.integers(min_value=1, max_value=6),
+        m=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_batched_matmul_is_linear(self, batch, n, k, m, seed):
+        generator = new_rng(seed)
+        a = generator.normal(size=(batch, n, k))
+        b = generator.normal(size=(batch, k, m))
+        c = generator.normal(size=(batch, k, m))
+        alpha = float(generator.normal())
+        for backend in self._backends():
+            combined = backend.batched_matmul(a, b + alpha * c)
+            separate = backend.batched_matmul(a, b) + alpha * backend.batched_matmul(a, c)
+            np.testing.assert_allclose(combined, separate, atol=1e-10)
+
+    @given(
+        batch=st.integers(min_value=1, max_value=5),
+        n=st.integers(min_value=1, max_value=6),
+        m=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_transpose_consistency(self, batch, n, m, seed):
+        """transpose is an involution and commutes with batched matmul:
+        ``(A @ B)^T == B^T @ A^T`` per batch, exactly (same per-entry dot)."""
+        generator = new_rng(seed)
+        a = generator.normal(size=(batch, n, m))
+        b = generator.normal(size=(batch, m, n))
+        for backend in self._backends():
+            np.testing.assert_array_equal(
+                backend.transpose_last2(backend.transpose_last2(a)), a
+            )
+            product_t = backend.transpose_last2(backend.batched_matmul(a, b))
+            swapped = backend.batched_matmul(
+                backend.transpose_last2(b), backend.transpose_last2(a)
+            )
+            np.testing.assert_allclose(product_t, swapped, atol=1e-10)

@@ -50,6 +50,7 @@ from repro.exceptions import (
     JobQueueFull,
     SweepExecutionError,
 )
+from repro.kernels import kernel_backend_name
 from repro.registry import CONDENSERS
 from repro.service import (
     CondensationService,
@@ -299,6 +300,38 @@ class TestPoolBitIdentity:
         records = run_sweep(
             smoke_sweep(),
             execution=ExecutionSpec(backend="pool", workers=workers),
+        )
+        assert len(records) == len(serial_baseline)
+        for a, b in zip(serial_baseline, records):
+            assert_records_identical(a, b)
+
+    def test_threaded_kernel_under_pool_matches_serial_numpy(self, serial_baseline):
+        """Regression: pool workers apply the sweep's kernel backend.
+
+        Records must be bit-identical to the serial numpy baseline — the
+        threaded backend's chunked kernels preserve per-row accumulation
+        order, and the worker-side ``set_kernel_backend`` pin must not leak
+        into later dispatches once the sweep ends.
+        """
+        records = run_sweep(
+            smoke_sweep(),
+            execution=ExecutionSpec(
+                backend="pool", workers=2, kernel_backend="threaded"
+            ),
+        )
+        assert len(records) == len(serial_baseline)
+        for a, b in zip(serial_baseline, records):
+            assert_records_identical(a, b)
+        assert kernel_backend_name() == "numpy"
+
+    def test_pool_workers_resolve_kernel_environment(
+        self, monkeypatch, serial_baseline
+    ):
+        """Workers see the parent's ``REPRO_KERNEL_BACKEND`` resolution even
+        when the sweep's ``ExecutionSpec`` leaves ``kernel_backend`` unset."""
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "threaded")
+        records = run_sweep(
+            smoke_sweep(), execution=ExecutionSpec(backend="pool", workers=2)
         )
         assert len(records) == len(serial_baseline)
         for a, b in zip(serial_baseline, records):
