@@ -85,6 +85,7 @@ from repro.api.spec import (
     SweepSpec,
     derive_cell_seed,
 )
+from repro.api.transfer import TransferSweepSpec
 from repro.api.runner import RunRecord, SweepRecord, run_experiment, run_sweep
 
 __all__ = [
@@ -93,6 +94,7 @@ __all__ = [
     "ExecutionSpec",
     "ExperimentSpec",
     "SweepSpec",
+    "TransferSweepSpec",
     "derive_cell_seed",
     "RunRecord",
     "SweepRecord",

@@ -312,11 +312,14 @@ def _apply_defense(
 ) -> Predictor:
     """Apply a registered defense and return the defended predictor.
 
-    Three duck-typed protocols cover the registered families: dataset-level
+    Four duck-typed protocols cover the registered families: dataset-level
     defenses expose ``apply_to_condensed`` (retrain on the sanitised graph),
-    detectors expose ``detect`` (drop flagged nodes, retrain), and model-level
-    defenses expose ``wrap`` (smooth the already-trained model).
+    detectors expose ``detect`` (drop flagged nodes, retrain), robust-training
+    defenses expose ``retrain`` (refit under training-time perturbation), and
+    model-level defenses expose ``wrap`` (smooth the already-trained model).
     """
+    if hasattr(defense, "retrain"):
+        return defense.retrain(condensed, graph, evaluation, rng)
     if hasattr(defense, "apply_to_condensed"):
         defended = defense.apply_to_condensed(condensed)
         return train_model_on_condensed(defended, graph, evaluation, rng)

@@ -17,6 +17,7 @@ from repro.kernels import active_backend
 
 __all__ = [
     "relu",
+    "leaky_relu",
     "sigmoid",
     "tanh",
     "softmax",
@@ -39,6 +40,18 @@ __all__ = [
 def relu(x: Tensor) -> Tensor:
     """Rectified linear unit."""
     return x.relu()
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.2) -> Tensor:
+    """Leaky rectified linear unit: ``x`` where positive, ``slope * x`` elsewhere.
+
+    Composed as an elementwise product with the constant slope mask, so the
+    existing multiply vjp yields the exact piecewise derivative (the
+    non-differentiable point at 0 takes the negative-slope branch).
+    """
+    mask = (x.data > 0).astype(np.float64)
+    scale = mask + negative_slope * (1.0 - mask)
+    return x * Tensor(scale)
 
 
 def sigmoid(x: Tensor) -> Tensor:

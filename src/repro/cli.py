@@ -10,6 +10,7 @@ Spec-driven workflows::
     python -m repro.cli run   --spec spec.json
     python -m repro.cli sweep --spec sweep.json --out results.jsonl
     python -m repro.cli sweep --spec sweep.json --workers 4 --on-error record
+    python -m repro.cli transfer --dataset tiny --matrix-out matrix.json
 
 Service workflows (persistent worker pool + content-addressed result store,
 see :mod:`repro.service`)::
@@ -52,6 +53,7 @@ from repro.api import (
     ExperimentSpec,
     RunRecord,
     SweepSpec,
+    TransferSweepSpec,
     run_experiment,
     run_sweep,
 )
@@ -60,8 +62,14 @@ from repro.datasets import list_datasets, statistics_table
 from repro.exceptions import ConfigurationError, GraphValidationError
 from repro.graph.blocked import blocked_threshold
 from repro.kernels import available_kernel_backends, kernel_backend_name
-from repro.registry import CONDENSERS
-from repro.evaluation.reporting import format_percent, format_table, sweep_summary_line
+from repro.registry import ATTACKS, CONDENSERS
+from repro.evaluation.reporting import (
+    format_percent,
+    format_table,
+    format_transfer_matrix,
+    sweep_summary_line,
+    transfer_matrix,
+)
 from repro.utils.logging import enable_console_logging
 
 
@@ -95,6 +103,49 @@ def build_parser() -> argparse.ArgumentParser:
                        help="'record' turns a failing cell into a failed RunRecord and keeps "
                             "going (exit code 1 if any cell failed); 'raise' aborts the sweep")
     sweep.add_argument("--verbose", action="store_true", help="enable console logging")
+
+    transfer = subparsers.add_parser(
+        "transfer",
+        help="run a transferability matrix: condense under one surrogate, "
+             "evaluate across models x defenses",
+    )
+    transfer.add_argument("--spec", default=None,
+                          help="path to a TransferSweepSpec JSON file ('-' for stdin); "
+                               "omitted = build one from the flags below")
+    transfer.add_argument("--dataset", default="tiny",
+                          help="dataset of the quick form (default tiny; ignored with --spec)")
+    transfer.add_argument("--condenser", default="gcond", choices=CONDENSERS.known(),
+                          help="surrogate condenser of the quick form (default gcond)")
+    transfer.add_argument("--attack", default="naive", choices=ATTACKS.known(),
+                          help="attack of the quick form (default naive)")
+    transfer.add_argument("--epochs", type=int, default=3,
+                          help="condensation epochs of the quick form (default 3)")
+    transfer.add_argument("--eval-epochs", type=int, default=30,
+                          help="downstream training epochs of the quick form (default 30)")
+    transfer.add_argument("--seed", type=int, default=0, help="transfer-sweep seed")
+    transfer.add_argument("--models", default=None,
+                          help="comma-separated victim architectures "
+                               "(default: every registered model)")
+    transfer.add_argument("--defenses", default=None,
+                          help="comma-separated defenses; 'none' is the undefended "
+                               "column (default: none + every registered defense)")
+    transfer.add_argument("--out", default=None,
+                          help="write one RunRecord JSON object per line "
+                               "(canonical grid order) to this file")
+    transfer.add_argument("--matrix-out", default=None,
+                          help="write the model x defense CTA/ASR matrix as JSON to this file")
+    transfer.add_argument("--json", action="store_true",
+                          help="print the matrix as JSON instead of a markdown table")
+    transfer.add_argument("--workers", type=int, default=None,
+                          help="worker-process count; a value > 1 switches the backend to "
+                               "'process' unless --backend serial is given explicitly")
+    transfer.add_argument("--backend", choices=EXECUTION_BACKENDS, default=None,
+                          help="execution backend (overrides the spec's execution block)")
+    transfer.add_argument("--cell-timeout", type=float, default=None,
+                          help="per-cell timeout in seconds (enforced by the process backend)")
+    transfer.add_argument("--on-error", choices=ON_ERROR_MODES, default=None,
+                          help="'record' keeps going past failing cells; 'raise' aborts")
+    transfer.add_argument("--verbose", action="store_true", help="enable console logging")
 
     serve = subparsers.add_parser(
         "serve", help="run the condensation service (worker pool + result store) on a unix socket"
@@ -370,6 +421,76 @@ def _align_rows(rows: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
     return [{key: row.get(key, "") for key in columns} for row in rows]
 
 
+def _split_axis_flag(raw: str | None) -> List[Any] | None:
+    """Parse a comma-separated axis flag; ``"none"`` means the undefended cell."""
+    if raw is None:
+        return None
+    values: List[Any] = []
+    for token in raw.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        values.append(None if token.lower() == "none" else token)
+    if not values:
+        raise ConfigurationError(f"axis flag {raw!r} names no components")
+    return values
+
+
+def transfer_spec_from_args(args: argparse.Namespace) -> TransferSweepSpec:
+    """Build the TransferSweepSpec a ``repro transfer`` invocation describes."""
+    if args.spec is not None:
+        spec = TransferSweepSpec.from_dict(_load_payload(args.spec))
+    else:
+        base = ExperimentSpec.from_dict(
+            {
+                "dataset": args.dataset,
+                "condenser": {"name": args.condenser, "overrides": {"epochs": args.epochs}},
+                "attack": args.attack,
+                "evaluation": {"overrides": {"epochs": args.eval_epochs}},
+            }
+        )
+        spec = TransferSweepSpec(base=base, seed=args.seed)
+    models = _split_axis_flag(args.models)
+    defenses = _split_axis_flag(args.defenses)
+    if models is not None:
+        spec = replace(spec, models=models)
+    if defenses is not None:
+        spec = replace(spec, defenses=defenses)
+    return spec
+
+
+def run_transfer_command(args: argparse.Namespace) -> int:
+    """Run the model × defense transferability matrix and print/emit it."""
+    transfer = transfer_spec_from_args(args)
+    sweep = transfer.to_sweep()
+    execution = execution_from_args(args, sweep.execution)
+    sink = open(args.out, "w") if args.out else None
+    on_record = _OrderedJsonlSink(sink) if sink is not None else None
+    try:
+        records = run_sweep(sweep, on_record=on_record, execution=execution)
+    finally:
+        if sink is not None:
+            on_record.flush_remaining()
+            sink.close()
+    matrix = transfer_matrix(records)
+    if args.matrix_out:
+        Path(args.matrix_out).write_text(json.dumps(matrix, indent=2) + "\n")
+    if args.json:
+        print(json.dumps(matrix))
+    else:
+        print(format_transfer_matrix(matrix))
+        print(
+            sweep_summary_line(
+                len(records),
+                len(records.failed),
+                execution.backend,
+                execution.workers,
+                records.cache_stats,
+            )
+        )
+    return 1 if records.failed else 0
+
+
 def run_condense_command(args: argparse.Namespace) -> int:
     spec = spec_from_legacy_args(args, with_attack=False)
     record = run_experiment(spec)
@@ -549,6 +670,8 @@ def main(argv: List[str] | None = None) -> int:
         return run_run_command(args)
     if args.command == "sweep":
         return run_sweep_command(args)
+    if args.command == "transfer":
+        return run_transfer_command(args)
     if args.command == "serve":
         return run_serve_command(args)
     if args.command in ("submit", "jobs"):

@@ -2,9 +2,18 @@
 
 from repro.defenses.prune import PruneDefense, PruneConfig
 from repro.defenses.randsmooth import RandSmoothDefense, RandSmoothConfig, SmoothedModel
+from repro.defenses.robust_training import (
+    DropEdgeConfig,
+    DropEdgeDefense,
+    DropNodeConfig,
+    DropNodeDefense,
+    drop_edges,
+)
 from repro.defenses.detection import (
     DetectionReport,
+    FeatureOutlierConfig,
     FeatureOutlierDetector,
+    SpectralSignatureConfig,
     SpectralSignatureDetector,
     remove_flagged_nodes,
 )
@@ -15,8 +24,15 @@ __all__ = [
     "RandSmoothDefense",
     "RandSmoothConfig",
     "SmoothedModel",
+    "DropEdgeDefense",
+    "DropEdgeConfig",
+    "DropNodeDefense",
+    "DropNodeConfig",
+    "drop_edges",
     "DetectionReport",
+    "FeatureOutlierConfig",
     "FeatureOutlierDetector",
+    "SpectralSignatureConfig",
     "SpectralSignatureDetector",
     "remove_flagged_nodes",
 ]

@@ -19,7 +19,7 @@ flagged nodes removed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict
 
 import numpy as np
@@ -49,6 +49,42 @@ class DetectionReport:
         return np.flatnonzero(self.flagged)
 
 
+def _validate_contamination(contamination: float) -> None:
+    if not 0.0 < contamination < 1.0:
+        raise DefenseError(f"contamination must lie in (0, 1), got {contamination}")
+
+
+@dataclass
+class FeatureOutlierConfig:
+    """Configuration of the feature-outlier detector."""
+
+    contamination: float = 0.1
+
+    def __post_init__(self) -> None:
+        _validate_contamination(self.contamination)
+
+
+@dataclass
+class SpectralSignatureConfig:
+    """Configuration of the spectral-signature detector."""
+
+    contamination: float = 0.1
+
+    def __post_init__(self) -> None:
+        _validate_contamination(self.contamination)
+
+
+def _resolve_detector_config(config, contamination, config_cls):
+    """Merge the legacy ``contamination=`` keyword with the config object."""
+    if config is None:
+        if contamination is None:
+            return config_cls()
+        return config_cls(contamination=contamination)
+    if contamination is not None:
+        return replace(config, contamination=contamination)
+    return config
+
+
 def _flag_top_scores(scores: np.ndarray, contamination: float) -> np.ndarray:
     """Boolean mask marking the ``contamination`` fraction of highest scores."""
     if not 0.0 < contamination < 1.0:
@@ -60,14 +96,20 @@ def _flag_top_scores(scores: np.ndarray, contamination: float) -> np.ndarray:
     return mask
 
 
-@DEFENSES.register("feature-outlier", aliases=("outlier",))
+@DEFENSES.register("feature-outlier", aliases=("outlier",), config_cls=FeatureOutlierConfig)
 class FeatureOutlierDetector:
     """Z-score distance-to-class-centroid outlier detection."""
 
-    def __init__(self, contamination: float = 0.1) -> None:
-        if not 0.0 < contamination < 1.0:
-            raise DefenseError(f"contamination must lie in (0, 1), got {contamination}")
-        self.contamination = contamination
+    def __init__(
+        self,
+        config: FeatureOutlierConfig | None = None,
+        contamination: float | None = None,
+    ) -> None:
+        self.config = _resolve_detector_config(config, contamination, FeatureOutlierConfig)
+
+    @property
+    def contamination(self) -> float:
+        return self.config.contamination
 
     def score(self, condensed: CondensedGraph) -> np.ndarray:
         """Per-node suspicion scores (larger = more anomalous)."""
@@ -91,14 +133,20 @@ class FeatureOutlierDetector:
         return DetectionReport(scores=scores, flagged=flagged, contamination=self.contamination)
 
 
-@DEFENSES.register("spectral-signature", aliases=("spectral",))
+@DEFENSES.register("spectral-signature", aliases=("spectral",), config_cls=SpectralSignatureConfig)
 class SpectralSignatureDetector:
     """Spectral-signature detection (Tran et al., 2018) adapted to condensed graphs."""
 
-    def __init__(self, contamination: float = 0.1) -> None:
-        if not 0.0 < contamination < 1.0:
-            raise DefenseError(f"contamination must lie in (0, 1), got {contamination}")
-        self.contamination = contamination
+    def __init__(
+        self,
+        config: SpectralSignatureConfig | None = None,
+        contamination: float | None = None,
+    ) -> None:
+        self.config = _resolve_detector_config(config, contamination, SpectralSignatureConfig)
+
+    @property
+    def contamination(self) -> float:
+        return self.config.contamination
 
     def score(self, condensed: CondensedGraph) -> np.ndarray:
         """Squared projection of each node onto its class's top singular vector."""

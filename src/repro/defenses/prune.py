@@ -1,10 +1,16 @@
 """Prune: a dataset-level defense that removes low-similarity edges.
 
-Following UGBA's defense baseline, edges whose endpoint feature cosine
-similarity falls in the lowest ``prune_fraction`` quantile are removed.  The
-BGC paper applies it to the condensed graph before the customer trains on it;
-this implementation also supports pruning the (possibly triggered) evaluation
+Following UGBA's defense baseline, the ``prune_fraction`` lowest-similarity
+edges (endpoint feature cosine similarity) are removed.  The BGC paper
+applies it to the condensed graph before the customer trains on it; this
+implementation also supports pruning the (possibly triggered) evaluation
 graph, which is how the defense would be deployed at inference time.
+
+Selection is rank-based, not quantile-based: exactly ``floor(fraction * E)``
+undirected edges are dropped, ties broken deterministically by ``(row, col)``,
+so ``prune_fraction=0.0`` is a bit-for-bit no-op and the same edges are
+removed by :meth:`PruneDefense.apply_to_condensed` and
+:meth:`PruneDefense.apply_to_graph` for the same similarity profile.
 """
 
 from __future__ import annotations
@@ -43,6 +49,26 @@ def _cosine_similarity(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return numerator / denominator
 
 
+def _rank_drop_mask(
+    similarities: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    fraction: float,
+) -> np.ndarray:
+    """Mark exactly ``floor(fraction * E)`` lowest-similarity edges for removal.
+
+    Ties are broken by ``(row, col)`` so the selection is deterministic and
+    independent of how many edges share the threshold similarity.
+    """
+    num_drop = int(fraction * similarities.size)
+    drop = np.zeros(similarities.size, dtype=bool)
+    if num_drop == 0:
+        return drop
+    order = np.lexsort((cols, rows, similarities))
+    drop[order[:num_drop]] = True
+    return drop
+
+
 @DEFENSES.register("prune", config_cls=PruneConfig)
 class PruneDefense:
     """Remove the lowest-similarity edges from a condensed or full graph."""
@@ -58,8 +84,7 @@ class PruneDefense:
         if rows.size == 0:
             return pruned
         similarities = _cosine_similarity(pruned.features[rows], pruned.features[cols])
-        threshold = np.quantile(similarities, self.config.prune_fraction)
-        drop = similarities <= threshold
+        drop = _rank_drop_mask(similarities, rows, cols, self.config.prune_fraction)
         adjacency[rows[drop], cols[drop]] = 0.0
         adjacency[cols[drop], rows[drop]] = 0.0
         pruned.metadata["pruned_edges"] = float(drop.sum())
@@ -67,19 +92,30 @@ class PruneDefense:
         return pruned
 
     def apply_to_graph(self, graph: GraphData) -> GraphData:
-        """Prune a full (sparse) graph — e.g. the triggered evaluation graph."""
+        """Prune a full (sparse) graph — e.g. the triggered evaluation graph.
+
+        Only off-diagonal entries are candidates for removal; self-loops and
+        the original edge weights of surviving entries are preserved.
+        """
         coo = graph.adjacency.tocoo()
         mask_upper = coo.row < coo.col
         rows, cols = coo.row[mask_upper], coo.col[mask_upper]
         if rows.size == 0:
             return graph
         similarities = _cosine_similarity(graph.features[rows], graph.features[cols])
-        threshold = np.quantile(similarities, self.config.prune_fraction)
-        keep = similarities > threshold
-        keep_rows = np.concatenate([rows[keep], cols[keep]])
-        keep_cols = np.concatenate([cols[keep], rows[keep]])
-        data = np.ones(keep_rows.size, dtype=np.float64)
+        drop = _rank_drop_mask(similarities, rows, cols, self.config.prune_fraction)
+        if not drop.any():
+            return graph
+        num_nodes = graph.adjacency.shape[0]
+        # Canonical undirected edge ids: both (r, c) and (c, r) map to
+        # min*N+max, so dropping an upper edge removes its mirror too while
+        # diagonal entries (id r*N+r) can never be selected.
+        dropped_ids = rows[drop].astype(np.int64) * num_nodes + cols[drop].astype(np.int64)
+        lo = np.minimum(coo.row, coo.col).astype(np.int64)
+        hi = np.maximum(coo.row, coo.col).astype(np.int64)
+        keep = ~np.isin(lo * num_nodes + hi, dropped_ids)
         pruned_adjacency = sp.csr_matrix(
-            (data, (keep_rows, keep_cols)), shape=graph.adjacency.shape
+            (coo.data[keep], (coo.row[keep], coo.col[keep])),
+            shape=graph.adjacency.shape,
         )
         return graph.with_(adjacency=pruned_adjacency)

@@ -39,6 +39,36 @@ class RandSmoothConfig:
             )
 
 
+def _majority_vote_loop(stacked: np.ndarray) -> np.ndarray:
+    """Per-node bincount/argmax reference implementation.
+
+    Kept (unused in production) as the pinned semantics for
+    :func:`_majority_vote`: the vectorised version must stay bit-identical
+    to this loop.
+    """
+    num_nodes = stacked.shape[1]
+    majority = np.empty(num_nodes, dtype=np.int64)
+    for node in range(num_nodes):
+        counts = np.bincount(stacked[:, node])
+        majority[node] = int(np.argmax(counts))
+    return majority
+
+
+def _majority_vote(stacked: np.ndarray) -> np.ndarray:
+    """Vectorised per-node majority vote over a ``(num_samples, num_nodes)`` array.
+
+    Ties are broken toward the smallest class label (``argmax`` on the
+    per-node count vector returns the first maximum), matching the per-node
+    ``bincount``/``argmax`` loop this replaces bit for bit.
+    """
+    votes = stacked.astype(np.int64, copy=False)
+    num_nodes = votes.shape[1]
+    num_classes = int(votes.max()) + 1
+    flat = votes + np.arange(num_nodes, dtype=np.int64)[None, :] * num_classes
+    counts = np.bincount(flat.ravel(), minlength=num_nodes * num_classes)
+    return counts.reshape(num_nodes, num_classes).argmax(axis=1).astype(np.int64)
+
+
 class SmoothedModel:
     """Wraps any predictor with randomised edge subsampling + majority vote.
 
@@ -58,13 +88,7 @@ class SmoothedModel:
         for _ in range(config.num_samples):
             sampled = self._subsample(adjacency, rng)
             votes.append(self.base_model.predict(sampled, features))
-        stacked = np.stack(votes, axis=0)
-        num_nodes = stacked.shape[1]
-        majority = np.empty(num_nodes, dtype=np.int64)
-        for node in range(num_nodes):
-            counts = np.bincount(stacked[:, node])
-            majority[node] = int(np.argmax(counts))
-        return majority
+        return _majority_vote(np.stack(votes, axis=0))
 
     def _subsample(
         self, adjacency: Union[sp.spmatrix, np.ndarray], rng: np.random.Generator
@@ -75,10 +99,24 @@ class SmoothedModel:
             mask_upper = coo.row < coo.col
             rows, cols = coo.row[mask_upper], coo.col[mask_upper]
             kept = rng.random(rows.size) < keep
-            new_rows = np.concatenate([rows[kept], cols[kept]])
-            new_cols = np.concatenate([cols[kept], rows[kept]])
-            data = np.ones(new_rows.size, dtype=np.float64)
-            return sp.csr_matrix((data, (new_rows, new_cols)), shape=adjacency.shape)
+            if kept.all():
+                return adjacency.tocsr()
+            num_nodes = adjacency.shape[0]
+            # Drop each sampled-out undirected edge via its canonical id
+            # (min*N+max): the mirror entry maps to the same id, diagonal
+            # entries (r*N+r) are never candidates, and surviving entries
+            # keep their original weights.
+            dropped_ids = (
+                rows[~kept].astype(np.int64) * num_nodes
+                + cols[~kept].astype(np.int64)
+            )
+            lo = np.minimum(coo.row, coo.col).astype(np.int64)
+            hi = np.maximum(coo.row, coo.col).astype(np.int64)
+            entry_keep = ~np.isin(lo * num_nodes + hi, dropped_ids)
+            return sp.csr_matrix(
+                (coo.data[entry_keep], (coo.row[entry_keep], coo.col[entry_keep])),
+                shape=adjacency.shape,
+            )
         dense = np.asarray(adjacency, dtype=np.float64).copy()
         upper = np.triu(np.ones_like(dense, dtype=bool), k=1)
         drop = (rng.random(dense.shape) >= keep) & upper & (dense > 0)

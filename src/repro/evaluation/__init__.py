@@ -9,7 +9,12 @@ from repro.evaluation.pipeline import (
     evaluate_clean,
 )
 from repro.evaluation.experiment import ExperimentRunner, ExperimentResult, aggregate_runs
-from repro.evaluation.reporting import format_table, format_percent
+from repro.evaluation.reporting import (
+    format_percent,
+    format_table,
+    format_transfer_matrix,
+    transfer_matrix,
+)
 
 __all__ = [
     "attack_success_rate",
@@ -24,4 +29,6 @@ __all__ = [
     "aggregate_runs",
     "format_table",
     "format_percent",
+    "format_transfer_matrix",
+    "transfer_matrix",
 ]

@@ -8,7 +8,10 @@ sweep (cell/failure counts and merged cache counters).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple
+
+#: Defense-axis label of the undefended column in a transfer matrix.
+NO_DEFENSE_LABEL = "none"
 
 
 def format_percent(value: float, decimals: int = 2) -> str:
@@ -59,6 +62,97 @@ def format_cache_stats(stats: Mapping[str, int]) -> str:
     if not stats:
         return "(no cache stats)"
     return " ".join(f"{key}={value}" for key, value in stats.items())
+
+
+def transfer_cell_metrics(record) -> Tuple[float, float]:
+    """The ``(cta, asr)`` pair a transfer-matrix cell reports.
+
+    Defended cells report the defended numbers; undefended cells report the
+    attacked victim's numbers; and when the spec carries no attack at all the
+    clean baseline stands in (ASR stays NaN there).
+    """
+    spec = record.spec
+    if spec.defense.is_set:
+        return record.defense_cta, record.defense_asr
+    if spec.attack.is_set:
+        return record.attack_cta, record.attack_asr
+    return record.clean_cta, record.clean_asr
+
+
+def _defense_label(spec) -> str:
+    return spec.defense.name if spec.defense.is_set else NO_DEFENSE_LABEL
+
+
+def transfer_matrix(records: Sequence[Any]) -> Dict[str, Any]:
+    """Aggregate transfer-sweep records into a model × defense CTA/ASR grid.
+
+    Returns a JSON-compatible mapping: ``models`` and ``defenses`` list the
+    axis labels in first-appearance (grid) order, and ``cells`` holds one
+    entry per record with its metrics and status.  Failed cells appear with
+    null metrics so the matrix always covers the full grid.
+    """
+    models: Dict[str, None] = {}
+    defenses: Dict[str, None] = {}
+    cells: List[Dict[str, Any]] = []
+    context: Dict[str, Any] = {}
+    for record in records:
+        spec = record.spec
+        model = spec.model.name or ""
+        defense = _defense_label(spec)
+        models.setdefault(model, None)
+        defenses.setdefault(defense, None)
+        if not context:
+            context = {
+                "dataset": spec.dataset.name,
+                "condenser": spec.condenser.name,
+                "attack": spec.attack.name,
+            }
+        cta, asr = transfer_cell_metrics(record)
+        cells.append(
+            {
+                "model": model,
+                "defense": defense,
+                "cell_index": record.cell_index,
+                "cta": None if cta != cta else cta,
+                "asr": None if asr != asr else asr,
+                "status": record.status,
+            }
+        )
+    return {
+        **context,
+        "models": list(models),
+        "defenses": list(defenses),
+        "cells": cells,
+    }
+
+
+def format_transfer_matrix(matrix: Mapping[str, Any]) -> str:
+    """Render a :func:`transfer_matrix` mapping as a markdown grid.
+
+    One row per model, one column per defense; each cell shows
+    ``CTA% / ASR%`` (``--`` for NaN metrics, ``failed`` for failed cells).
+    """
+    defenses = list(matrix["defenses"])
+    lookup: Dict[Tuple[str, str], Mapping[str, Any]] = {
+        (cell["model"], cell["defense"]): cell for cell in matrix["cells"]
+    }
+
+    def render(cell: Mapping[str, Any] | None) -> str:
+        if cell is None:
+            return "--"
+        if cell["status"] != "ok":
+            return cell["status"]
+        cta = float("nan") if cell["cta"] is None else cell["cta"]
+        asr = float("nan") if cell["asr"] is None else cell["asr"]
+        return f"{format_percent(cta)} / {format_percent(asr)}"
+
+    header = "| model | " + " | ".join(defenses) + " |"
+    separator = "|" + " --- |" * (len(defenses) + 1)
+    lines = [header, separator]
+    for model in matrix["models"]:
+        row = [render(lookup.get((model, defense))) for defense in defenses]
+        lines.append("| " + " | ".join([model, *row]) + " |")
+    return "\n".join(lines)
 
 
 def sweep_summary_line(

@@ -8,6 +8,7 @@ numpy array (small condensed graphs).  Training is handled by
 """
 
 from repro.models.base import NodeClassifier, make_model, available_architectures
+from repro.models.gat import GAT
 from repro.models.gcn import GCN
 from repro.models.sgc import SGC
 from repro.models.sage import GraphSAGE
@@ -21,6 +22,7 @@ __all__ = [
     "NodeClassifier",
     "make_model",
     "available_architectures",
+    "GAT",
     "GCN",
     "SGC",
     "GraphSAGE",

@@ -1,4 +1,4 @@
-"""Unit tests for the Prune and Randsmooth defenses."""
+"""Unit tests for the Prune, Randsmooth and robust-training defenses."""
 
 from __future__ import annotations
 
@@ -8,13 +8,22 @@ import scipy.sparse as sp
 
 from repro.condensation.base import CondensedGraph
 from repro.defenses import (
+    DropEdgeConfig,
+    DropEdgeDefense,
+    DropNodeConfig,
+    DropNodeDefense,
     PruneConfig,
     PruneDefense,
     RandSmoothConfig,
     RandSmoothDefense,
     SmoothedModel,
+    drop_edges,
 )
+from repro.defenses.randsmooth import _majority_vote, _majority_vote_loop
+from repro.evaluation import EvaluationConfig
 from repro.exceptions import DefenseError
+from repro.graph.data import GraphData
+from repro.graph.splits import SplitIndices
 from repro.models import MLP, GCN
 from repro.utils.seed import new_rng
 
@@ -27,6 +36,25 @@ def condensed_with_structure(rng):
     for i in range(7):
         adjacency[i, i + 1] = adjacency[i + 1, i] = 1.0
     return CondensedGraph(features=features, labels=labels, adjacency=adjacency, method="gcond")
+
+
+@pytest.fixture
+def weighted_graph_with_self_loops(rng):
+    """A weighted sparse graph whose adjacency stores diagonal entries."""
+    num_nodes = 12
+    dense = np.zeros((num_nodes, num_nodes))
+    for i in range(num_nodes - 1):
+        weight = 0.5 + rng.random()
+        dense[i, i + 1] = dense[i + 1, i] = weight
+    dense[0, 5] = dense[5, 0] = 2.5
+    np.fill_diagonal(dense, 1.0)
+    index = np.arange(num_nodes)
+    return GraphData(
+        adjacency=sp.csr_matrix(dense),
+        features=rng.normal(size=(num_nodes, 4)),
+        labels=rng.integers(0, 2, size=num_nodes),
+        split=SplitIndices(train=index[:6], val=index[6:9], test=index[9:]),
+    )
 
 
 class TestPruneConfig:
@@ -85,6 +113,70 @@ class TestPruneDefense:
         assert pruned.num_edges < small_graph.num_edges
         assert (pruned.adjacency != pruned.adjacency.T).nnz == 0
 
+    def test_fraction_zero_condensed_is_bitwise_noop(self, condensed_with_structure):
+        pruned = PruneDefense(PruneConfig(prune_fraction=0.0)).apply_to_condensed(
+            condensed_with_structure
+        )
+        assert np.array_equal(pruned.adjacency, condensed_with_structure.adjacency)
+        assert pruned.metadata["pruned_edges"] == 0.0
+
+    def test_fraction_zero_graph_is_bitwise_noop(self, small_graph):
+        pruned = PruneDefense(PruneConfig(prune_fraction=0.0)).apply_to_graph(small_graph)
+        assert (pruned.adjacency != small_graph.adjacency).nnz == 0
+
+    def test_drops_exactly_floor_fraction_edges(self, condensed_with_structure):
+        # The path graph has 7 undirected edges; floor(0.5 * 7) = 3.
+        pruned = PruneDefense(PruneConfig(prune_fraction=0.5)).apply_to_condensed(
+            condensed_with_structure
+        )
+        assert pruned.metadata["pruned_edges"] == 3.0
+        assert (np.triu(pruned.adjacency, k=1) > 0).sum() == 4
+
+    def test_tied_similarities_still_drop_exact_count(self, rng):
+        # Identical features give every edge the same similarity; a quantile
+        # threshold would drop all or none, rank selection drops exactly two.
+        features = np.ones((6, 3))
+        adjacency = np.zeros((6, 6))
+        for i in range(5):
+            adjacency[i, i + 1] = adjacency[i + 1, i] = 1.0
+        condensed = CondensedGraph(
+            features=features, labels=np.zeros(6, dtype=int), adjacency=adjacency
+        )
+        pruned = PruneDefense(PruneConfig(prune_fraction=0.4)).apply_to_condensed(condensed)
+        assert pruned.metadata["pruned_edges"] == 2.0
+        assert (np.triu(pruned.adjacency, k=1) > 0).sum() == 3
+
+    def test_condensed_and_graph_drop_the_same_edges(self, condensed_with_structure):
+        """Both protocols remove identical undirected edges at the same fraction."""
+        defense = PruneDefense(PruneConfig(prune_fraction=0.5))
+        pruned_condensed = defense.apply_to_condensed(condensed_with_structure)
+        num_nodes = condensed_with_structure.adjacency.shape[0]
+        index = np.arange(num_nodes)
+        graph = GraphData(
+            adjacency=sp.csr_matrix(condensed_with_structure.adjacency),
+            features=condensed_with_structure.features,
+            labels=np.abs(condensed_with_structure.labels),
+            split=SplitIndices(train=index, val=index[:1], test=index[:1]),
+        )
+        pruned_graph = defense.apply_to_graph(graph)
+        np.testing.assert_array_equal(
+            pruned_graph.adjacency.toarray() > 0, pruned_condensed.adjacency > 0
+        )
+
+    def test_graph_prune_preserves_self_loops_and_weights(
+        self, weighted_graph_with_self_loops
+    ):
+        graph = weighted_graph_with_self_loops
+        pruned = PruneDefense(PruneConfig(prune_fraction=0.4)).apply_to_graph(graph)
+        original = graph.adjacency.toarray()
+        result = pruned.adjacency.toarray()
+        # Every self-loop survives untouched.
+        np.testing.assert_array_equal(np.diag(result), np.diag(original))
+        # Surviving off-diagonal entries keep their original weights.
+        surviving = result != 0
+        np.testing.assert_array_equal(result[surviving], original[surviving])
+        assert (result != 0).sum() < (original != 0).sum()
+
 
 class TestRandSmooth:
     def test_invalid_config(self):
@@ -128,3 +220,134 @@ class TestRandSmooth:
         a = SmoothedModel(model, config).predict(small_graph.adjacency, small_graph.features)
         b = SmoothedModel(model, config).predict(small_graph.adjacency, small_graph.features)
         np.testing.assert_array_equal(a, b)
+
+    def test_subsample_preserves_self_loops_and_weights(
+        self, weighted_graph_with_self_loops
+    ):
+        graph = weighted_graph_with_self_loops
+        smoothed = SmoothedModel(object(), RandSmoothConfig(keep_probability=0.4))
+        sampled = smoothed._subsample(graph.adjacency, new_rng(0)).toarray()
+        original = graph.adjacency.toarray()
+        np.testing.assert_array_equal(np.diag(sampled), np.diag(original))
+        surviving = sampled != 0
+        np.testing.assert_array_equal(sampled[surviving], original[surviving])
+        assert (sampled != 0).sum() < (original != 0).sum()
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_majority_vote_matches_loop_bitwise(self, seed):
+        rng = new_rng(seed)
+        stacked = rng.integers(0, 5, size=(7, 40))
+        np.testing.assert_array_equal(_majority_vote(stacked), _majority_vote_loop(stacked))
+
+    def test_majority_vote_tie_breaks_to_smallest_label(self):
+        # Node 0 ties 2-2 between classes 1 and 3; argmax picks the smaller.
+        stacked = np.array([[1, 0], [3, 0], [1, 2], [3, 2]])
+        np.testing.assert_array_equal(_majority_vote(stacked), np.array([1, 0]))
+        np.testing.assert_array_equal(_majority_vote_loop(stacked), np.array([1, 0]))
+
+
+class TestDropEdge:
+    def test_invalid_config(self):
+        with pytest.raises(DefenseError):
+            DropEdgeConfig(drop_rate=1.0)
+        with pytest.raises(DefenseError):
+            DropEdgeConfig(drop_rate=-0.1)
+
+    def test_drop_rate_zero_is_noop(self, small_graph):
+        dropped = drop_edges(small_graph.adjacency, 0.0, new_rng(0))
+        assert (dropped != small_graph.adjacency).nnz == 0
+
+    def test_sparse_drop_preserves_self_loops_and_weights(
+        self, weighted_graph_with_self_loops
+    ):
+        graph = weighted_graph_with_self_loops
+        dropped = drop_edges(graph.adjacency, 0.6, new_rng(0)).toarray()
+        original = graph.adjacency.toarray()
+        np.testing.assert_array_equal(np.diag(dropped), np.diag(original))
+        surviving = dropped != 0
+        np.testing.assert_array_equal(dropped[surviving], original[surviving])
+        assert (dropped != 0).sum() < (original != 0).sum()
+
+    def test_sparse_drop_keeps_symmetry(self, small_graph):
+        dropped = drop_edges(small_graph.adjacency, 0.5, new_rng(3))
+        assert (dropped != dropped.T).nnz == 0
+
+    def test_dense_drop_keeps_symmetry(self, rng):
+        adjacency = 1.0 - np.eye(10)
+        dropped = drop_edges(adjacency, 0.5, new_rng(3))
+        np.testing.assert_allclose(dropped, dropped.T)
+        assert dropped.sum() < adjacency.sum()
+
+    def test_retrain_returns_working_model(self, small_graph):
+        defense = DropEdgeDefense(DropEdgeConfig(drop_rate=0.3))
+        evaluation = EvaluationConfig(epochs=3, hidden=8)
+        condensed = CondensedGraph(
+            features=small_graph.features[:10],
+            labels=small_graph.labels[:10],
+            adjacency=np.eye(10),
+            method="gcond",
+        )
+        model = defense.retrain(condensed, small_graph, evaluation, new_rng(0))
+        predictions = model.predict(small_graph.adjacency, small_graph.features)
+        assert predictions.shape == (small_graph.num_nodes,)
+        assert predictions.max() < small_graph.num_classes
+
+    def test_retrain_deterministic_given_seed(self, small_graph):
+        condensed = CondensedGraph(
+            features=small_graph.features[:10],
+            labels=small_graph.labels[:10],
+            adjacency=np.eye(10),
+            method="gcond",
+        )
+        evaluation = EvaluationConfig(epochs=3, hidden=8)
+
+        def run():
+            defense = DropEdgeDefense(DropEdgeConfig(drop_rate=0.3))
+            model = defense.retrain(condensed, small_graph, evaluation, new_rng(7))
+            return model.predict(small_graph.adjacency, small_graph.features)
+
+        np.testing.assert_array_equal(run(), run())
+
+
+class TestDropNode:
+    def test_invalid_config(self):
+        with pytest.raises(DefenseError):
+            DropNodeConfig(drop_rate=1.0)
+
+    def test_eval_mode_is_transparent(self, small_graph, rng):
+        from repro.defenses.robust_training import _DropNodeModel
+
+        base = MLP(small_graph.num_features, small_graph.num_classes, rng=rng, hidden=8)
+        wrapped = _DropNodeModel(base, DropNodeConfig(drop_rate=0.5), new_rng(0))
+        wrapped.eval()
+        np.testing.assert_array_equal(
+            wrapped.predict(small_graph.adjacency, small_graph.features),
+            base.predict(small_graph.adjacency, small_graph.features),
+        )
+
+    def test_retrain_returns_working_model(self, small_graph):
+        defense = DropNodeDefense(DropNodeConfig(drop_rate=0.3))
+        evaluation = EvaluationConfig(epochs=3, hidden=8)
+        condensed = CondensedGraph(
+            features=small_graph.features[:10],
+            labels=small_graph.labels[:10],
+            adjacency=np.eye(10),
+            method="gcond",
+        )
+        model = defense.retrain(condensed, small_graph, evaluation, new_rng(0))
+        predictions = model.predict(small_graph.adjacency, small_graph.features)
+        assert predictions.shape == (small_graph.num_nodes,)
+        assert predictions.max() < small_graph.num_classes
+
+    def test_gc_sntk_falls_back_to_undefended_predictor(self, small_graph):
+        defense = DropNodeDefense()
+        evaluation = EvaluationConfig(epochs=3, hidden=8)
+        condensed = CondensedGraph(
+            features=small_graph.features[:10],
+            labels=small_graph.labels[:10],
+            adjacency=np.eye(10),
+            method="gc-sntk",
+        )
+        model = defense.retrain(condensed, small_graph, evaluation, new_rng(0))
+        predictions = model.predict(small_graph.adjacency, small_graph.features)
+        assert predictions.shape == (small_graph.num_nodes,)

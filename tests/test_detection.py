@@ -8,12 +8,15 @@ import pytest
 from repro.condensation.base import CondensedGraph
 from repro.defenses.detection import (
     DetectionReport,
+    FeatureOutlierConfig,
     FeatureOutlierDetector,
+    SpectralSignatureConfig,
     SpectralSignatureDetector,
     detection_summary,
     remove_flagged_nodes,
 )
 from repro.exceptions import DefenseError
+from repro.registry import DEFENSES
 from repro.utils.seed import new_rng
 
 
@@ -105,6 +108,47 @@ class TestRemoveFlaggedNodes:
         report = FeatureOutlierDetector(contamination=0.1).detect(condensed_with_outlier)
         cleaned = remove_flagged_nodes(condensed_with_outlier, report)
         assert cleaned.adjacency.shape == (cleaned.num_nodes, cleaned.num_nodes)
+
+
+class TestDetectorConfigs:
+    """The detectors are sweepable: contamination binds through the registry."""
+
+    def test_config_dataclass_validates(self):
+        with pytest.raises(DefenseError):
+            FeatureOutlierConfig(contamination=0.0)
+        with pytest.raises(DefenseError):
+            SpectralSignatureConfig(contamination=1.5)
+
+    def test_registry_override_binds_contamination(self):
+        for name in ("feature-outlier", "spectral-signature"):
+            detector = DEFENSES.build(name, contamination=0.3)
+            assert detector.contamination == 0.3
+
+    def test_registry_default_contamination(self):
+        assert DEFENSES.build("feature-outlier").contamination == 0.1
+        assert DEFENSES.build("spectral-signature").contamination == 0.1
+
+    def test_config_object_and_kwarg_agree(self, condensed_with_outlier):
+        via_config = FeatureOutlierDetector(FeatureOutlierConfig(contamination=0.25))
+        via_kwarg = FeatureOutlierDetector(contamination=0.25)
+        np.testing.assert_array_equal(
+            via_config.detect(condensed_with_outlier).flagged,
+            via_kwarg.detect(condensed_with_outlier).flagged,
+        )
+
+    def test_spec_override_reaches_detector(self):
+        from repro.api import ExperimentSpec
+
+        spec = ExperimentSpec.from_dict(
+            {
+                "dataset": "tiny",
+                "defense": {"name": "feature-outlier", "overrides": {"contamination": 0.2}},
+            }
+        )
+        detector = DEFENSES.build(
+            spec.defense.name, **(spec.defense.overrides or {})
+        )
+        assert detector.contamination == 0.2
 
 
 class TestDetectionSummary:

@@ -8,6 +8,7 @@ import pytest
 from repro.exceptions import ConfigurationError
 from repro.models import (
     APPNP,
+    GAT,
     GCN,
     MLP,
     SGC,
@@ -22,7 +23,7 @@ from repro.models.transformer import MultiHeadSelfAttention, TransformerEncoderL
 from repro.autograd import Tensor
 from repro.utils.seed import new_rng
 
-ARCHITECTURES = [GCN, SGC, GraphSAGE, MLP, APPNP, ChebyNet]
+ARCHITECTURES = [GCN, SGC, GraphSAGE, MLP, APPNP, ChebyNet, GAT]
 
 
 class TestForwardShapes:
@@ -96,6 +97,51 @@ class TestArchitectureSpecifics:
         with pytest.raises(ConfigurationError):
             ChebyNet(4, 2, rng=rng, cheb_order=0)
 
+    def test_gat_invalid_config(self, rng):
+        with pytest.raises(ConfigurationError):
+            GAT(4, 2, rng=rng, num_layers=0)
+        with pytest.raises(ConfigurationError):
+            GAT(4, 2, rng=rng, heads=0)
+
+    def test_gat_heads_configurable(self, small_graph, rng):
+        for heads in (1, 2, 4):
+            model = GAT(
+                small_graph.num_features, small_graph.num_classes, rng=rng, hidden=8, heads=heads
+            )
+            logits = model.forward(small_graph.adjacency, small_graph.features)
+            assert logits.shape == (small_graph.num_nodes, small_graph.num_classes)
+
+    def test_gat_deterministic_given_seed(self, small_graph):
+        def run():
+            model = GAT(small_graph.num_features, small_graph.num_classes, rng=new_rng(3), hidden=8)
+            model.eval()
+            return model.forward(small_graph.adjacency, small_graph.features).data
+
+        np.testing.assert_array_equal(run(), run())
+
+    def test_gat_attention_weights_sum_to_one(self, small_graph, rng):
+        """Segment softmax normalises incoming-edge attention per destination."""
+        from repro.models.gat import _edge_list, _segment_softmax
+        import scipy.sparse as sp
+
+        dst, src, weight = _edge_list(small_graph.adjacency)
+        incidence = sp.csr_matrix(
+            (np.ones(dst.size), (dst, np.arange(dst.size))),
+            shape=(small_graph.num_nodes, dst.size),
+        )
+        scores = Tensor(rng.normal(size=(dst.size, 1)))
+        attention = _segment_softmax(scores, weight, dst, incidence)
+        sums = np.zeros(small_graph.num_nodes)
+        np.add.at(sums, dst, attention.data[:, 0])
+        np.testing.assert_allclose(sums, np.ones(small_graph.num_nodes), rtol=1e-9)
+
+    def test_gat_gradients_flow(self, small_graph, rng):
+        model = GAT(small_graph.num_features, small_graph.num_classes, rng=rng, hidden=8)
+        model.eval()
+        logits = model.forward(small_graph.adjacency, small_graph.features)
+        logits.sum().backward()
+        assert all(p.grad is not None for p in model.parameters())
+
     def test_sage_uses_row_normalised_neighbours(self, rng):
         operator = GraphSAGE._mean_operator(np.array([[0.0, 1.0, 1.0], [1.0, 0.0, 0.0], [1.0, 0.0, 0.0]]))
         np.testing.assert_allclose(operator.sum(axis=1), np.ones(3))
@@ -104,14 +150,14 @@ class TestArchitectureSpecifics:
 class TestMakeModel:
     def test_registry_contains_table3_architectures(self):
         names = available_architectures()
-        for expected in ("gcn", "sgc", "sage", "mlp", "appnp", "cheby"):
+        for expected in ("gcn", "sgc", "sage", "mlp", "appnp", "cheby", "gat"):
             assert expected in names
 
     def test_make_model_unknown_raises(self, rng):
         with pytest.raises(ConfigurationError):
-            make_model("gat", 4, 2, rng)
+            make_model("no-such-model", 4, 2, rng)
 
-    @pytest.mark.parametrize("name", ["gcn", "sgc", "sage", "mlp", "appnp", "cheby"])
+    @pytest.mark.parametrize("name", ["gcn", "sgc", "sage", "mlp", "appnp", "cheby", "gat"])
     def test_make_model_instantiates(self, name, rng):
         model = make_model(name, 6, 3, rng, hidden=8)
         logits = model.forward(np.eye(4), rng.normal(size=(4, 6)))
